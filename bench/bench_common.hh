@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure benchmark binaries.
+ *
+ * Each binary registers one google-benchmark case per (system, size)
+ * point; every case runs one full simulation (Iterations(1)) and
+ * reports the simulated time and DRAM transactions as counters. After
+ * the benchmark run, the binary prints the paper-style series (e.g.
+ * "runtime relative to the AMD CPU core") so the figure can be read
+ * directly off the output.
+ *
+ * Environment knobs:
+ *   CCSVM_BENCH_LARGE=1  extend sweeps toward the paper's sizes
+ *                        (longer host runtime).
+ */
+
+#ifndef CCSVM_BENCH_BENCH_COMMON_HH
+#define CCSVM_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace ccsvm::bench
+{
+
+inline bool
+largeSweeps()
+{
+    const char *env = std::getenv("CCSVM_BENCH_LARGE");
+    return env && env[0] == '1';
+}
+
+/** Collected series for the post-run figure table. */
+class FigureTable
+{
+  public:
+    static FigureTable &
+    instance()
+    {
+        static FigureTable t;
+        return t;
+    }
+
+    void
+    record(std::uint64_t x, const std::string &series, double value)
+    {
+        data_[x][series] = value;
+        seriesNames_.insert({series, seriesNames_.size()});
+    }
+
+    /** Print rows: x followed by each series column. */
+    void
+    print(const char *title, const char *x_label) const
+    {
+        std::vector<std::string> cols(seriesNames_.size());
+        for (const auto &[name, idx] : seriesNames_)
+            cols[idx] = name;
+
+        std::printf("\n=== %s ===\n", title);
+        std::printf("%-10s", x_label);
+        for (const auto &c : cols)
+            std::printf(" %16s", c.c_str());
+        std::printf("\n");
+        for (const auto &[x, row] : data_) {
+            std::printf("%-10llu", (unsigned long long)x);
+            for (const auto &c : cols) {
+                auto it = row.find(c);
+                if (it == row.end())
+                    std::printf(" %16s", "-");
+                else
+                    std::printf(" %16.4g", it->second);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+  private:
+    std::map<std::uint64_t, std::map<std::string, double>> data_;
+    std::map<std::string, std::size_t> seriesNames_;
+};
+
+inline double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickMs);
+}
+
+/** Standard counters for a workload run. */
+inline void
+setCounters(benchmark::State &state,
+            const workloads::RunResult &r)
+{
+    state.counters["sim_ms"] = toMs(r.ticks);
+    state.counters["sim_ms_noinit"] = toMs(r.ticksNoInit);
+    state.counters["dram"] = static_cast<double>(r.dramAccesses);
+    state.counters["correct"] = r.correct ? 1 : 0;
+    if (!r.correct) {
+        state.SkipWithError("workload output failed validation");
+    }
+}
+
+/** Main with a figure table printed after the benchmark run. */
+#define CCSVM_BENCH_MAIN(title, x_label)                              \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        ::ccsvm::setQuiet(true);                                      \
+        ::benchmark::Initialize(&argc, argv);                         \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::ccsvm::bench::FigureTable::instance().print(title,          \
+                                                      x_label);       \
+        return 0;                                                     \
+    }
+
+} // namespace ccsvm::bench
+
+#endif // CCSVM_BENCH_BENCH_COMMON_HH

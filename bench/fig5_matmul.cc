@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 5: "Performance on Matrix Multiply. Results show how CCSVM
+ * reduces overhead to launch MTTOP tasks."
+ *
+ * The paper plots log-scale runtime relative to the AMD CPU core as a
+ * function of matrix size, with four series: APU full runtime, APU
+ * without compilation/initialization, CCSVM/xthreads, and the CPU
+ * core itself (=1). Sizes are scaled down from the paper's 16..1024
+ * (simulator speed; see EXPERIMENTS.md): the launch-overhead
+ * amortization trend — CCSVM dominating at small sizes, the APU
+ * closing the gap as size grows — is visible within the sweep.
+ */
+
+#include "bench_common.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+std::map<unsigned, double> cpu_ms; // baseline per size
+
+void
+BM_CpuCore(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::matmulCpuSingle(n);
+    setCounters(state, r);
+    cpu_ms[n] = toMs(r.ticks);
+    FigureTable::instance().record(n, "cpu_rel", 1.0);
+    FigureTable::instance().record(n, "cpu_ms", toMs(r.ticks));
+}
+
+void
+BM_Ccsvm(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::matmulXthreads(n);
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, "ccsvm_rel", toMs(r.ticks) / cpu_ms[n]);
+}
+
+void
+BM_ApuOpenCl(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::matmulOpenCl(n);
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, "apu_full_rel", toMs(r.ticks) / cpu_ms[n]);
+    FigureTable::instance().record(
+        n, "apu_noinit_rel", toMs(r.ticksNoInit) / cpu_ms[n]);
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> sizes{8, 16, 32, 64};
+    if (largeSweeps()) {
+        sizes.push_back(96);
+        sizes.push_back(128);
+    }
+    for (auto n : sizes) {
+        // CPU baseline must run first: the others report relative.
+        benchmark::RegisterBenchmark("fig5/cpu_core", BM_CpuCore)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (auto n : sizes) {
+        benchmark::RegisterBenchmark("fig5/ccsvm_xthreads", BM_Ccsvm)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark("fig5/apu_opencl", BM_ApuOpenCl)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Figure 5: matmul runtime relative to the AMD CPU core "
+    "(lower = faster; paper is log-scale)",
+    "N")

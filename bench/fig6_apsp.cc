@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 6: "Performance on All-Pairs Shortest Path. Results show how
+ * CCSVM improves performance by avoiding multiple MTTOP task launches
+ * for each parallel phase."
+ *
+ * Floyd-Warshall with a barrier per outer iteration. The paper's two
+ * findings to reproduce: the APU never beats the plain CPU core (its
+ * per-iteration kernel relaunch is too slow), and CCSVM outperforms
+ * the APU by ~2 orders of magnitude even after discounting OpenCL
+ * init/compilation.
+ */
+
+#include "bench_common.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+std::map<unsigned, double> cpu_ms;
+
+void
+BM_CpuCore(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::apspCpuSingle(n);
+    setCounters(state, r);
+    cpu_ms[n] = toMs(r.ticks);
+    FigureTable::instance().record(n, "cpu_rel", 1.0);
+    FigureTable::instance().record(n, "cpu_ms", toMs(r.ticks));
+}
+
+void
+BM_Ccsvm(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::apspXthreads(n);
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, "ccsvm_rel", toMs(r.ticks) / cpu_ms[n]);
+}
+
+void
+BM_ApuOpenCl(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::apspOpenCl(n);
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, "apu_full_rel", toMs(r.ticks) / cpu_ms[n]);
+    FigureTable::instance().record(
+        n, "apu_noinit_rel", toMs(r.ticksNoInit) / cpu_ms[n]);
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> sizes{8, 16, 32, 48};
+    if (largeSweeps()) {
+        sizes.push_back(64);
+        sizes.push_back(96);
+    }
+    for (auto n : sizes) {
+        benchmark::RegisterBenchmark("fig6/cpu_core", BM_CpuCore)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (auto n : sizes) {
+        benchmark::RegisterBenchmark("fig6/ccsvm_xthreads", BM_Ccsvm)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark("fig6/apu_opencl", BM_ApuOpenCl)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Figure 6: all-pairs shortest path runtime relative to the AMD "
+    "CPU core (lower = faster; paper is log-scale)",
+    "N")

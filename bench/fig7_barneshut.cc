@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 7: "Barnes-Hut performance. CCSVM/xthreads enables pointer
+ * chasing code."
+ *
+ * Runtime of the pointer-based, recursive Barnes-Hut n-body benchmark:
+ * CCSVM/xthreads vs a single AMD CPU core vs pthreads with 4 threads
+ * on the APU's 4 CPU cores. No OpenCL series exists (the paper:
+ * "We could not find or develop an OpenCL version").
+ */
+
+#include "bench_common.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+workloads::BarnesHutParams
+params(unsigned bodies)
+{
+    workloads::BarnesHutParams p;
+    p.bodies = bodies;
+    p.steps = 2;
+    return p;
+}
+
+std::map<unsigned, double> cpu_ms;
+
+void
+BM_CpuCore(benchmark::State &state)
+{
+    const auto bodies = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::barnesHutCpuSingle(params(bodies));
+    setCounters(state, r);
+    cpu_ms[bodies] = toMs(r.ticks);
+    FigureTable::instance().record(bodies, "cpu_rel", 1.0);
+    FigureTable::instance().record(bodies, "cpu_ms", toMs(r.ticks));
+}
+
+void
+BM_Ccsvm(benchmark::State &state)
+{
+    const auto bodies = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::barnesHutXthreads(params(bodies));
+    setCounters(state, r);
+    FigureTable::instance().record(
+        bodies, "ccsvm_rel", toMs(r.ticks) / cpu_ms[bodies]);
+}
+
+void
+BM_Pthreads(benchmark::State &state)
+{
+    const auto bodies = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::barnesHutPthreads(params(bodies));
+    setCounters(state, r);
+    FigureTable::instance().record(
+        bodies, "pthreads4_rel", toMs(r.ticks) / cpu_ms[bodies]);
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> sizes{32, 64, 128};
+    if (largeSweeps()) {
+        sizes.push_back(256);
+        sizes.push_back(512);
+    }
+    for (auto b : sizes) {
+        benchmark::RegisterBenchmark("fig7/cpu_core", BM_CpuCore)
+            ->Arg(b)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (auto b : sizes) {
+        benchmark::RegisterBenchmark("fig7/ccsvm_xthreads", BM_Ccsvm)
+            ->Arg(b)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark("fig7/pthreads_4cpu",
+                                     BM_Pthreads)
+            ->Arg(b)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Figure 7: Barnes-Hut runtime relative to the AMD CPU core "
+    "(lower = faster)",
+    "bodies")

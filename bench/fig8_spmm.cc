@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 8: "Performance of Sparse Matrix Multiplication."
+ *
+ * Speedup of CCSVM/xthreads over the AMD CPU core for linked-list
+ * sparse matmul with mttop_malloc. Left panel: fixed 1% density,
+ * varying matrix size. Right panel: fixed size, varying density —
+ * "speedups until the matrix density increases to the point at which
+ * the mttop_malloc() calls constrain the performance". No OpenCL
+ * series exists.
+ */
+
+#include "bench_common.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+std::map<std::uint64_t, double> cpu_ms_size;
+std::map<std::uint64_t, double> cpu_ms_density;
+
+workloads::SpmmParams
+sizeParams(unsigned n)
+{
+    workloads::SpmmParams p;
+    p.n = n;
+    p.density = 0.01;
+    return p;
+}
+
+workloads::SpmmParams
+densityParams(unsigned density_permille)
+{
+    workloads::SpmmParams p;
+    p.n = largeSweeps() ? 128 : 96;
+    p.density = density_permille / 1000.0;
+    return p;
+}
+
+void
+BM_SizeCpu(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmCpuSingle(sizeParams(n));
+    setCounters(state, r);
+    cpu_ms_size[n] = toMs(r.ticks);
+}
+
+void
+BM_SizeCcsvm(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmXthreads(sizeParams(n));
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, "speedup_vs_cpu(size,1%)",
+        cpu_ms_size[n] / toMs(r.ticks));
+}
+
+void
+BM_DensityCpu(benchmark::State &state)
+{
+    const auto permille = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmCpuSingle(densityParams(permille));
+    setCounters(state, r);
+    cpu_ms_density[permille] = toMs(r.ticks);
+}
+
+void
+BM_DensityCcsvm(benchmark::State &state)
+{
+    const auto permille = static_cast<unsigned>(state.range(0));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmXthreads(densityParams(permille));
+    setCounters(state, r);
+    FigureTable::instance().record(
+        1000 + permille, "speedup_vs_cpu(density@fixedN)",
+        cpu_ms_density[permille] / toMs(r.ticks));
+}
+
+void
+registerAll()
+{
+    // Left panel: size sweep at 1% density.
+    std::vector<std::int64_t> sizes{48, 64, 96};
+    if (largeSweeps()) {
+        sizes.push_back(128);
+        sizes.push_back(192);
+    }
+    for (auto n : sizes)
+        benchmark::RegisterBenchmark("fig8/size/cpu_core", BM_SizeCpu)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    for (auto n : sizes)
+        benchmark::RegisterBenchmark("fig8/size/ccsvm_xthreads",
+                                     BM_SizeCcsvm)
+            ->Arg(n)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+
+    // Right panel: density sweep at fixed size (permille units; rows
+    // appear in the table as 1000+permille).
+    std::vector<std::int64_t> densities{5, 10, 20, 40, 80};
+    for (auto d : densities)
+        benchmark::RegisterBenchmark("fig8/density/cpu_core",
+                                     BM_DensityCpu)
+            ->Arg(d)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    for (auto d : densities)
+        benchmark::RegisterBenchmark("fig8/density/ccsvm_xthreads",
+                                     BM_DensityCcsvm)
+            ->Arg(d)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Figure 8: sparse matmul speedup of CCSVM/xthreads over the AMD "
+    "CPU core (rows <1000: size sweep at 1% density; rows 1000+d: "
+    "density sweep, d = permille)",
+    "N|1000+d")

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 9: "DRAM Accesses for Matrix Multiply. CCSVM/xthreads avoids
+ * many off-chip accesses."
+ *
+ * Off-chip DRAM transactions for the dense matmul of Figure 5, per
+ * system (log scale in the paper). The APU communicates CPU<->GPU
+ * through DRAM (uncached pinned writes + GPU fetches), the CPU core's
+ * strided B-column accesses cannot coalesce, while CCSVM keeps
+ * communication on-chip in the shared L2.
+ */
+
+#include "bench_common.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+void
+BM_Dram(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    const auto system = static_cast<int>(state.range(1));
+    workloads::RunResult r;
+    const char *series = "";
+    for (auto _ : state) {
+        switch (system) {
+          case 0:
+            r = workloads::matmulCpuSingle(n);
+            series = "cpu_dram";
+            break;
+          case 1:
+            r = workloads::matmulXthreads(n);
+            series = "ccsvm_dram";
+            break;
+          case 2:
+            r = workloads::matmulOpenCl(n);
+            series = "apu_dram";
+            break;
+        }
+    }
+    setCounters(state, r);
+    FigureTable::instance().record(
+        n, series, static_cast<double>(r.dramAccesses));
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> sizes{8, 16, 32, 64};
+    if (largeSweeps())
+        sizes.push_back(128);
+    const char *names[3] = {"fig9/cpu_core", "fig9/ccsvm_xthreads",
+                            "fig9/apu_opencl"};
+    for (auto n : sizes) {
+        for (int sys = 0; sys < 3; ++sys) {
+            benchmark::RegisterBenchmark(names[sys], BM_Dram)
+                ->Args({n, sys})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Figure 9: off-chip DRAM transactions for matmul "
+    "(paper is log-scale)",
+    "N")

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Pointer chasing on the MTTOP — the capability the paper's Sec. 5.3
+ * exists to demonstrate: "CCSVM/xthreads enables the use of
+ * pointer-based data structures in software that runs on CPU/MTTOP
+ * chips."
+ *
+ * The CPU builds N disjoint linked lists with dynamically allocated,
+ * pointer-linked nodes in ordinary malloc'd shared memory. Each MTTOP
+ * thread then chases one list's pointers and sums its payloads — no
+ * marshalling, no array flattening, no address translation tricks:
+ * the MTTOP dereferences the CPU's pointers directly because both
+ * share one coherent virtual address space.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "runtime/xthreads.hh"
+#include "system/ccsvm_machine.hh"
+
+using namespace ccsvm;
+using core::ThreadContext;
+using sim::GuestTask;
+using vm::VAddr;
+namespace xt = ccsvm::xthreads;
+
+namespace
+{
+
+constexpr unsigned kLists = 64;
+constexpr unsigned kNodesPerList = 40;
+
+/** Node: {i64 value, u64 next}. */
+GuestTask
+buildLists(ThreadContext &ctx, VAddr heads)
+{
+    runtime::Process &proc = *ctx.process();
+    for (unsigned l = 0; l < kLists; ++l) {
+        VAddr head = 0;
+        for (unsigned i = 0; i < kNodesPerList; ++i) {
+            co_await ctx.compute(80); // malloc bookkeeping
+            const VAddr node = proc.gmalloc(16);
+            co_await ctx.store<std::int64_t>(
+                node, static_cast<std::int64_t>(l * 1000 + i));
+            co_await ctx.store<std::uint64_t>(node + 8, head);
+            head = node;
+        }
+        co_await ctx.store<std::uint64_t>(heads + l * 8, head);
+    }
+}
+
+GuestTask
+chaseKernel(ThreadContext &ctx, VAddr args)
+{
+    const VAddr heads = co_await ctx.load<std::uint64_t>(args);
+    const VAddr sums = co_await ctx.load<std::uint64_t>(args + 8);
+    const VAddr done = co_await ctx.load<std::uint64_t>(args + 16);
+
+    VAddr node =
+        co_await ctx.load<std::uint64_t>(heads + ctx.tid() * 8);
+    std::int64_t sum = 0;
+    while (node != 0) {
+        sum += co_await ctx.load<std::int64_t>(node);
+        co_await ctx.compute(2);
+        node = co_await ctx.load<std::uint64_t>(node + 8);
+    }
+    co_await ctx.store<std::int64_t>(sums + ctx.tid() * 8, sum);
+    co_await xt::mttopSignal(ctx, done);
+}
+
+} // namespace
+
+int
+main()
+{
+    system::CcsvmMachine machine;
+    runtime::Process &proc = machine.createProcess();
+
+    const VAddr heads = proc.gmalloc(kLists * 8);
+    const VAddr sums = proc.gmalloc(kLists * 8);
+    const VAddr done = proc.gmalloc(kLists * 4);
+    const VAddr args = proc.gmalloc(32);
+    for (unsigned l = 0; l < kLists; ++l)
+        proc.poke<std::uint32_t>(done + l * 4, 0);
+    proc.poke<std::uint64_t>(args, heads);
+    proc.poke<std::uint64_t>(args + 8, sums);
+    proc.poke<std::uint64_t>(args + 16, done);
+
+    const Tick elapsed = machine.runMain(
+        proc, [](ThreadContext &ctx, VAddr a) -> GuestTask {
+            const VAddr heads_va =
+                co_await ctx.load<std::uint64_t>(a);
+            const VAddr done_va =
+                co_await ctx.load<std::uint64_t>(a + 16);
+            co_await buildLists(ctx, heads_va);
+            co_await xt::createMthread(ctx, chaseKernel, a, 0,
+                                       kLists - 1);
+            co_await xt::cpuWaitAll(ctx, done_va, 0, kLists - 1);
+        },
+        args);
+
+    bool ok = true;
+    for (unsigned l = 0; l < kLists; ++l) {
+        std::int64_t expect = 0;
+        for (unsigned i = 0; i < kNodesPerList; ++i)
+            expect += l * 1000 + i;
+        ok &= proc.peek<std::int64_t>(sums + l * 8) == expect;
+    }
+    std::printf("%u MTTOP threads chased %u-node CPU-built linked "
+                "lists: %s\n",
+                kLists, kNodesPerList, ok ? "CORRECT" : "WRONG");
+    std::printf("simulated time: %.2f us\n",
+                static_cast<double>(elapsed) / tickUs);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,240 @@
+#include "apu/apu_machine.hh"
+
+#include <cstring>
+
+namespace ccsvm::apu
+{
+
+ApuMachine::ApuMachine(ApuConfig cfg)
+    : cfg_(std::move(cfg)), phys_(cfg_.physMemBytes),
+      pinnedBrk_(cfg_.pinnedBase)
+{
+    // The directory-at-memory must be able to track every privately
+    // cached line (inclusive): size it at 2x aggregate private cache.
+    cfg_.dir.memoryResident = true;
+    cfg_.dir.bankSizeBytes = 2 * static_cast<Addr>(cfg_.numCpuCores) *
+                             cfg_.cpuCache.sizeBytes;
+    cfg_.dir.assoc = 32;
+    cfg_.dir.ctrlLatency = 2 * tickNs; // UNB probe path
+
+    dram_ = std::make_unique<mem::DramCtrl>(eq_, stats_, "dram",
+                                            cfg_.dram);
+    cfg_.xbar.nodes = cfg_.numCpuCores + 1;
+    xbar_ = std::make_unique<noc::CrossbarNetwork>(eq_, stats_,
+                                                   "xbar", cfg_.xbar);
+    if (cfg_.swmrChecks)
+        monitor_ = std::make_unique<coherence::SwmrMonitor>();
+
+    ccsvm_assert(cfg_.framePoolBase < cfg_.pinnedBase,
+                 "frame pool overlaps pinned region");
+    kernel_ = std::make_unique<vm::Kernel>(
+        eq_, stats_, phys_, cfg_.kernel, cfg_.framePoolBase,
+        cfg_.pinnedBase - cfg_.framePoolBase);
+
+    // CPU cluster: L1 ids/nodes 0..n-1, directory at node n.
+    for (int i = 0; i < cfg_.numCpuCores; ++i) {
+        l1s_.push_back(std::make_unique<coherence::L1Controller>(
+            eq_, stats_, "cpu" + std::to_string(i) + ".cache",
+            cfg_.cpuCache, i, *xbar_, i, monitor_.get()));
+    }
+    dirBank_ = std::make_unique<coherence::Directory>(
+        eq_, stats_, "unb", cfg_.dir, 0, 1, *xbar_,
+        cfg_.numCpuCores, *dram_, phys_);
+
+    std::vector<coherence::L1Ref> l1refs;
+    for (int i = 0; i < cfg_.numCpuCores; ++i)
+        l1refs.push_back({l1s_[i].get(), i});
+    std::vector<coherence::DirRef> dirrefs{
+        {dirBank_.get(), cfg_.numCpuCores}};
+    for (auto &l1 : l1s_) {
+        l1->connectDirectories(dirrefs);
+        l1->connectPeers(l1refs);
+    }
+    dirBank_->connectL1s(l1refs);
+
+    // PTE lines cached across the CPUs' private hierarchies.
+    pteFilter_ = std::make_unique<vm::PteLineFilter>();
+    for (int i = 0; i < cfg_.numCpuCores; ++i) {
+        walkers_.push_back(std::make_unique<vm::Walker>(
+            eq_, stats_, "cpu" + std::to_string(i) + ".walker",
+            cfg_.walker, *dram_, pteFilter_.get()));
+        cpuCores_.push_back(std::make_unique<core::CpuCore>(
+            eq_, stats_, "cpu" + std::to_string(i), cfg_.cpu,
+            *l1s_[i], *walkers_.back(), *kernel_, *xbar_, i));
+        core::UncachedWindow win;
+        win.base = cfg_.pinnedBase;
+        win.size = cfg_.pinnedSize;
+        win.phys = &phys_;
+        win.dram = dram_.get();
+        cpuCores_.back()->setUncachedWindow(win);
+    }
+
+    for (int u = 0; u < cfg_.numSimdUnits; ++u) {
+        gpuUnits_.push_back(std::make_unique<GpuSimdUnit>(
+            eq_, stats_, "gpu" + std::to_string(u), cfg_.gpu, *dram_,
+            phys_));
+        gpuUnits_.back()->setContextsFreedHandler(
+            [this] { dispatchGpu(); });
+    }
+}
+
+ApuMachine::~ApuMachine() = default;
+
+runtime::Process &
+ApuMachine::createProcess()
+{
+    processes_.push_back(std::make_unique<runtime::Process>(
+        static_cast<int>(processes_.size()), *kernel_, *this));
+    return *processes_.back();
+}
+
+void
+ApuMachine::spawnCpuThread(int cpu_idx, runtime::Process &proc,
+                           core::KernelFn fn, vm::VAddr args,
+                           std::function<void()> on_done)
+{
+    ccsvm_assert(cpu_idx >= 0 && cpu_idx < cfg_.numCpuCores,
+                 "bad CPU index %d", cpu_idx);
+    auto thread = std::make_unique<CpuThread>();
+    thread->fn = std::move(fn);
+    core::ThreadContext &ref = thread->tc;
+    CpuThread *tptr = thread.get();
+    cpuThreads_.push_back(std::move(thread));
+    ref.bind(proc.allocTid(), &proc, cpuCores_[cpu_idx].get());
+    core::CpuCore *core = cpuCores_[cpu_idx].get();
+    // pthread_create is not free on a real OS. The kernel function
+    // lives in the stored CpuThread so the coroutine's captures stay
+    // valid for its whole lifetime.
+    eq_.scheduleIn(cfg_.threadSpawnLatency,
+                   [core, tptr, args,
+                    on_done = std::move(on_done)]() mutable {
+                       core->runThread(tptr->tc,
+                                       tptr->fn(tptr->tc, args),
+                                       std::move(on_done));
+                   });
+}
+
+Tick
+ApuMachine::runMain(runtime::Process &proc, core::KernelFn fn,
+                    vm::VAddr args)
+{
+    const Tick start = eq_.now();
+    bool done = false;
+    spawnCpuThread(0, proc, std::move(fn), args, [&] { done = true; });
+    const bool finished = eq_.runUntil([&] { return done; });
+    ccsvm_assert(finished, "guest main never exited (deadlock?)");
+    return eq_.now() - start;
+}
+
+void
+ApuMachine::run(Tick limit)
+{
+    eq_.run(limit);
+}
+
+Addr
+ApuMachine::allocPinned(Addr bytes)
+{
+    const Addr pa = pinnedBrk_;
+    pinnedBrk_ = roundUp(pinnedBrk_ + bytes, mem::pageBytes);
+    ccsvm_assert(pinnedBrk_ <= cfg_.pinnedBase + cfg_.pinnedSize,
+                 "pinned region exhausted");
+    return pa;
+}
+
+void
+ApuMachine::launchGpuTask(core::KernelFn fn, Addr args_pa, unsigned n,
+                          std::shared_ptr<core::TaskState> state)
+{
+    // Kernel boundary: the GPU read caches are invalidated so the new
+    // kernel observes the CPU's latest (uncached-path) writes.
+    for (auto &unit : gpuUnits_)
+        unit->flushCache();
+
+    auto shared_fn = std::make_shared<core::KernelFn>(std::move(fn));
+    constexpr unsigned wavefront = 64;
+    for (unsigned first = 0; first < n; first += wavefront) {
+        GpuWork w;
+        w.fn = shared_fn;
+        w.argsPa = args_pa;
+        w.first = first;
+        w.count = std::min(wavefront, n - first);
+        w.state = state;
+        gpuPending_.push_back(std::move(w));
+    }
+    dispatchGpu();
+}
+
+void
+ApuMachine::dispatchGpu()
+{
+    while (!gpuPending_.empty()) {
+        GpuWork &w = gpuPending_.front();
+        GpuSimdUnit *target = nullptr;
+        for (auto &unit : gpuUnits_) {
+            if (unit->freeContexts() >= w.count) {
+                target = unit.get();
+                break;
+            }
+        }
+        if (!target)
+            return;
+        GpuWork work = std::move(gpuPending_.front());
+        gpuPending_.pop_front();
+        target->assignWork(std::move(work));
+    }
+}
+
+std::uint64_t
+ApuMachine::dramAccesses() const
+{
+    return dram_->reads() + dram_->writes();
+}
+
+void
+ApuMachine::funcRead(Addr pa, void *dst, unsigned len)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const Addr block = mem::blockAlign(pa);
+        const unsigned off = static_cast<unsigned>(pa - block);
+        const unsigned chunk =
+            std::min<unsigned>(len, mem::blockBytes - off);
+
+        std::uint8_t buf[mem::blockBytes];
+        bool found = false;
+        for (auto &l1 : l1s_) {
+            if (l1->funcReadBlock(block, buf)) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            phys_.readBlock(block, buf);
+        std::memcpy(out, buf + off, chunk);
+        pa += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+ApuMachine::funcWrite(Addr pa, const void *src, unsigned len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const Addr block = mem::blockAlign(pa);
+        const unsigned off = static_cast<unsigned>(pa - block);
+        const unsigned chunk =
+            std::min<unsigned>(len, mem::blockBytes - off);
+        phys_.write(pa, in, chunk);
+        for (auto &l1 : l1s_)
+            l1->funcWriteBlock(block, off, in, chunk);
+        dirBank_->funcWriteBlock(block, off, in, chunk);
+        pa += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace ccsvm::apu

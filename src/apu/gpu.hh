@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The APU baseline's GPU: VLIW SIMD units in the style of the Llano
+ * A8-3850's Radeon (Table 2: "5 SIMD processing units with 16 VLIW
+ * Radeon cores per SIMD unit, 600 MHz; each VLIW instruction is 1-4
+ * operations").
+ *
+ * The GPU is deliberately NOT a peer in the coherence protocol — that
+ * is the whole point of the baseline. Work-item memory accesses go to
+ * pinned physical memory through a per-unit read-tag cache and a
+ * coalescer: concurrent misses to one 64-byte block merge into one
+ * DRAM transaction (real GPUs coalesce strided accesses; the paper
+ * notes this is why the APU's DRAM counts grow slower than the CPU's
+ * in Figure 9). Writes are write-through with per-unit write
+ * combining. Atomics are performed at memory, as on real GPUs of this
+ * generation (paper Sec. 3.2.4 contrasts this with CCSVM's
+ * atomics-at-L1).
+ */
+
+#ifndef CCSVM_APU_GPU_HH
+#define CCSVM_APU_GPU_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "cache/cache_array.hh"
+#include "core/thread_context.hh"
+#include "mem/dram.hh"
+#include "mem/phys_mem.hh"
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+
+namespace ccsvm::apu
+{
+
+/** One SIMD unit's parameters. */
+struct GpuSimdUnitConfig
+{
+    Tick clockPeriod = 1667;  ///< 600 MHz
+    unsigned lanes = 16;      ///< VLIW cores per unit
+    unsigned numContexts = 256;
+    /**
+     * Average operations packed per VLIW instruction (1..4). At 4 the
+     * APU GPU has 4x the CCSVM MTTOP's throughput; at 1 they are
+     * equal — exactly the paper's framing of Table 2.
+     */
+    double vliwUtilization = 2.0;
+    Addr cacheBytes = 16 * 1024;
+    unsigned cacheAssoc = 4;
+    Tick cacheHitLatency = 4 * 1667; ///< 4 GPU cycles
+};
+
+/** A chunk of work-items dispatched to one SIMD unit. The kernel
+ * function is shared: coroutine frames reference the callable's
+ * captures, so it must outlive every work-item of the launch. */
+struct GpuWork
+{
+    std::shared_ptr<core::KernelFn> fn;
+    Addr argsPa = 0; ///< physical address of the kernel arg block
+    ThreadId first = 0;
+    unsigned count = 0;
+    std::shared_ptr<core::TaskState> state;
+};
+
+/** One VLIW SIMD processing unit. */
+class GpuSimdUnit : public core::CoreModel
+{
+  public:
+    GpuSimdUnit(sim::EventQueue &eq, sim::StatRegistry &stats,
+                const std::string &name, const GpuSimdUnitConfig &cfg,
+                mem::DramCtrl &dram, mem::PhysMem &phys);
+
+    /** Notify when contexts free up (dispatcher hook). */
+    void
+    setContextsFreedHandler(std::function<void()> fn)
+    {
+        onContextsFreed_ = std::move(fn);
+    }
+
+    unsigned freeContexts() const { return freeSlots_; }
+
+    /** Accept a chunk of work-items (driver dispatch). */
+    void assignWork(GpuWork work);
+
+    /** Invalidate the read cache (kernel-boundary flush). */
+    void flushCache();
+
+    // CoreModel.
+    void onOpDeclared(core::ThreadContext &tc) override;
+    void onThreadDone(core::ThreadContext &tc) override;
+
+  private:
+    struct Slot
+    {
+        core::ThreadContext tc;
+        bool inUse = false;
+        std::shared_ptr<core::KernelFn> fn;
+        std::shared_ptr<core::TaskState> state;
+    };
+
+    struct TagLine
+    {
+        Addr addr = invalidAddr;
+        bool valid = false;
+    };
+
+    void scheduleCycle();
+    void cycle();
+    void processOp(core::ThreadContext &tc);
+    void doLoad(core::ThreadContext &tc);
+    void doStore(core::ThreadContext &tc);
+    void doAmo(core::ThreadContext &tc);
+
+    sim::EventQueue *eq_;
+    GpuSimdUnitConfig cfg_;
+    sim::ClockDomain clock_;
+    mem::DramCtrl *dram_;
+    mem::PhysMem *phys_;
+
+    std::vector<std::unique_ptr<Slot>> slots_;
+    unsigned freeSlots_;
+    std::deque<core::ThreadContext *> ready_;
+    bool cycleScheduled_ = false;
+    std::function<void()> onContextsFreed_;
+
+    cache::CacheArray<TagLine> readCache_;
+    /** Read misses in flight: coalesced joiners per block. */
+    std::unordered_map<Addr, std::vector<core::ThreadContext *>>
+        pendingReads_;
+    Addr wcBlock_ = invalidAddr; ///< write-combining buffer tag
+
+    sim::Counter &instructions_;
+    sim::Counter &vliwInstrs_;
+    sim::Counter &memOps_;
+    sim::Counter &cacheHits_;
+    sim::Counter &coalesced_;
+    sim::Counter &threadsRun_;
+};
+
+} // namespace ccsvm::apu
+
+#endif // CCSVM_APU_GPU_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the memory system.
+ */
+
+#ifndef CCSVM_BASE_INTMATH_HH
+#define CCSVM_BASE_INTMATH_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace ccsvm
+{
+
+/** True iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); @p n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(n)); @p n must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Round @p a down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+} // namespace ccsvm
+
+#endif // CCSVM_BASE_INTMATH_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every simulator module.
+ *
+ * The simulator's unit of time is the Tick; one tick is one picosecond,
+ * as in gem5. All component clocks (CPU 2.9 GHz, MTTOP 600 MHz, NoC
+ * 1 GHz) are expressed as tick periods so heterogeneous clock domains
+ * compose on a single event queue.
+ */
+
+#ifndef CCSVM_BASE_TYPES_HH
+#define CCSVM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace ccsvm
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A memory address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles within one clock domain. */
+using Cycles = std::uint64_t;
+
+/** Guest thread identifier (global within a machine). */
+using ThreadId = std::uint32_t;
+
+/** Invalid/poison address constant. */
+inline constexpr Addr invalidAddr = ~Addr(0);
+
+/** Ticks per common wall-clock units. */
+inline constexpr Tick tickPs = 1;
+inline constexpr Tick tickNs = 1000;
+inline constexpr Tick tickUs = 1000 * 1000;
+inline constexpr Tick tickMs = 1000ull * 1000 * 1000;
+inline constexpr Tick tickSec = 1000ull * 1000 * 1000 * 1000;
+
+/**
+ * Convert a frequency in MHz to a clock period in ticks, rounding to
+ * the nearest picosecond.
+ */
+constexpr Tick
+periodFromMHz(std::uint64_t mhz)
+{
+    return (tickSec / 1000 / 1000 + mhz / 2) / mhz;
+}
+
+} // namespace ccsvm
+
+#endif // CCSVM_BASE_TYPES_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Generic set-associative cache array with true LRU replacement.
+ *
+ * The array stores protocol-specific line types (L1 lines carry MOESI
+ * state, L2 lines carry directory state); it owns only geometry,
+ * lookup, allocation and victim selection. Lines carry real 64-byte
+ * data blocks — the coherence protocol is functionally load-bearing.
+ */
+
+#ifndef CCSVM_CACHE_CACHE_ARRAY_HH
+#define CCSVM_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "mem/phys_mem.hh"
+
+namespace ccsvm::cache
+{
+
+/**
+ * Set-associative array of LineT.
+ *
+ * LineT must provide members: `Addr addr`, `bool valid`. The array
+ * addresses lines by aligned block address.
+ */
+template <typename LineT>
+class CacheArray
+{
+  public:
+    CacheArray(Addr size_bytes, unsigned assoc)
+        : assoc_(assoc),
+          numSets_(static_cast<unsigned>(
+              size_bytes / mem::blockBytes / assoc))
+    {
+        ccsvm_assert(assoc >= 1, "associativity must be >= 1");
+        ccsvm_assert(isPowerOf2(numSets_),
+                     "cache must have a power-of-two set count "
+                     "(size=%llu assoc=%u)",
+                     (unsigned long long)size_bytes, assoc);
+        ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+        for (auto &w : ways_)
+            w.line.valid = false;
+    }
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    unsigned
+    setIndex(Addr block_addr) const
+    {
+        return static_cast<unsigned>(
+            (block_addr >> mem::blockShift) & (numSets_ - 1));
+    }
+
+    /** Find the line holding @p block_addr, or nullptr. */
+    LineT *
+    lookup(Addr block_addr)
+    {
+        auto [base, end] = setRange(block_addr);
+        for (std::size_t i = base; i < end; ++i) {
+            if (ways_[i].line.valid && ways_[i].line.addr == block_addr)
+                return &ways_[i].line;
+        }
+        return nullptr;
+    }
+
+    /** Mark @p line most-recently used. */
+    void
+    touch(LineT *line)
+    {
+        wayOf(line).lastUse = ++useClock_;
+    }
+
+    /**
+     * Claim an invalid way in @p block_addr's set and initialize its
+     * tag. Returns nullptr if the set has no invalid way (the caller
+     * must make room by evicting a victim first).
+     */
+    LineT *
+    allocate(Addr block_addr)
+    {
+        auto [base, end] = setRange(block_addr);
+        for (std::size_t i = base; i < end; ++i) {
+            if (!ways_[i].line.valid) {
+                ways_[i].line = LineT{};
+                ways_[i].line.valid = true;
+                ways_[i].line.addr = block_addr;
+                ways_[i].lastUse = ++useClock_;
+                return &ways_[i].line;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Least-recently-used valid line in @p block_addr's set for which
+     * @p evictable returns true; nullptr if none qualifies.
+     */
+    LineT *
+    findVictim(Addr block_addr,
+               const std::function<bool(const LineT &)> &evictable)
+    {
+        auto [base, end] = setRange(block_addr);
+        LineT *victim = nullptr;
+        std::uint64_t oldest = ~std::uint64_t(0);
+        for (std::size_t i = base; i < end; ++i) {
+            auto &w = ways_[i];
+            if (w.line.valid && w.lastUse < oldest && evictable(w.line)) {
+                oldest = w.lastUse;
+                victim = &w.line;
+            }
+        }
+        return victim;
+    }
+
+    /** Drop @p line from the array. */
+    void
+    invalidate(LineT *line)
+    {
+        line->valid = false;
+    }
+
+    /** Visit every valid line. */
+    void
+    forEach(const std::function<void(LineT &)> &fn)
+    {
+        for (auto &w : ways_) {
+            if (w.line.valid)
+                fn(w.line);
+        }
+    }
+
+    /** Number of currently valid lines (for tests). */
+    unsigned
+    countValid() const
+    {
+        unsigned n = 0;
+        for (const auto &w : ways_)
+            n += w.line.valid;
+        return n;
+    }
+
+  private:
+    struct Way
+    {
+        LineT line{};
+        std::uint64_t lastUse = 0;
+    };
+
+    std::pair<std::size_t, std::size_t>
+    setRange(Addr block_addr) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(block_addr)) * assoc_;
+        return {base, base + assoc_};
+    }
+
+    Way &
+    wayOf(LineT *line)
+    {
+        // Lines live inside ways_; recover the Way via offset math.
+        auto *way = reinterpret_cast<Way *>(
+            reinterpret_cast<char *>(line) - offsetof(Way, line));
+        return *way;
+    }
+
+    unsigned assoc_;
+    unsigned numSets_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_;
+};
+
+} // namespace ccsvm::cache
+
+#endif // CCSVM_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Banked, inclusive shared L2 cache with an embedded MOESI directory.
+ *
+ * This is the paper's home node: "the shared L2 cache is banked and
+ * co-located with a banked directory that holds state used for cache
+ * coherence" (Sec. 3.1), with "directory state embedded in the L2
+ * blocks, similar to recent Intel and AMD chips. With an inclusive L2,
+ * an L2 miss indicates that the block is not cached in any L1 and thus
+ * triggers an access to off-chip memory" (Sec. 3.2.2).
+ *
+ * The directory is blocking: one transaction per block at a time,
+ * closed by the requestor's Unblock message; requests to a busy block
+ * stall in a per-block FIFO. Inclusive-L2 evictions recall the block
+ * from all L1 holders before freeing the frame.
+ */
+
+#ifndef CCSVM_COHERENCE_DIRECTORY_HH
+#define CCSVM_COHERENCE_DIRECTORY_HH
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "cache/cache_array.hh"
+#include "coherence/l1_cache.hh"
+#include "coherence/msgs.hh"
+#include "mem/dram.hh"
+#include "mem/phys_mem.hh"
+#include "noc/network.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace ccsvm::coherence
+{
+
+/** Geometry and timing of one L2 bank + directory slice. */
+struct DirConfig
+{
+    Addr bankSizeBytes = 1024 * 1024; ///< Table 2: 4 x 1 MB banks
+    unsigned assoc = 16;
+    Tick l2DataLatency = 3450;  ///< ~10 CPU cycles / 2 MTTOP cycles
+    Tick ctrlLatency = 1000;    ///< directory state access
+
+    /**
+     * Directory-at-memory mode (the APU baseline's CPU cluster): the
+     * bank tracks coherence state but has no shared data cache — data
+     * "served from the L2" is really fetched from DRAM (counted), and
+     * dirty writebacks flush straight to DRAM. Llano's CPUs share
+     * only the Unified Northbridge, not a cache (paper Sec. 2.3).
+     */
+    bool memoryResident = false;
+};
+
+/** One L2 bank with embedded directory state. */
+class Directory
+{
+  public:
+    Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
+              const std::string &name, const DirConfig &cfg, int bank_id,
+              int num_banks, noc::Network &net, noc::NodeId my_node,
+              mem::DramCtrl &dram, mem::PhysMem &phys);
+
+    /** Wire up the L1s (index = L1Id). */
+    void connectL1s(std::vector<L1Ref> l1s);
+
+    /** Network-side entry point. */
+    void handleMessage(CohMsg msg);
+
+    noc::NodeId node() const { return node_; }
+
+    /** Number of open transactions + stalled messages (for tests). */
+    std::size_t pendingWork() const;
+
+    /** Describe any open work (for test diagnostics). */
+    std::string describePending() const;
+
+    /** Directory's view of a block (for tests): returns true and fills
+     * the out-params when the block is present in this bank. */
+    bool probe(Addr block_addr, DirState &st, L1Id &owner,
+               unsigned &num_sharers);
+
+    /** Functional probe: copy L2 data if the block is resident. */
+    bool funcReadBlock(Addr block_addr, std::uint8_t *out);
+
+    /** Functional write-through into a resident L2 copy. */
+    void funcWriteBlock(Addr block_addr, unsigned offset,
+                        const void *src, unsigned len);
+
+  private:
+    /** L2 line with embedded directory state. */
+    struct L2Line
+    {
+        Addr addr = invalidAddr;
+        bool valid = false;
+        bool busy = false;   ///< transaction or recall in flight
+        bool dirty = false;  ///< L2 data newer than DRAM
+        DirState st = DirState::S;
+        L1Id owner = noL1;
+        std::uint32_t sharers = 0;
+        std::array<std::uint8_t, mem::blockBytes> data{};
+    };
+
+    /** Open Get transaction, closed by Unblock. */
+    struct Txn
+    {
+        MsgType req = MsgType::GetS;
+        L1Id requestor = noL1;
+        bool forwarded = false;
+        L1Id oldOwner = noL1;
+    };
+
+    /** Inclusive-eviction recall in progress. */
+    struct Recall
+    {
+        int acksLeft = 0;
+        CohMsg pendingReq; ///< the allocation that triggered it
+    };
+
+    // --- request processing (line not busy on entry) ---
+    void processRequest(CohMsg &msg);
+    void processGetS(CohMsg &msg, L2Line *line);
+    void processGetM(CohMsg &msg, L2Line *line);
+    void processPutS(CohMsg &msg, L2Line *line);
+    void processPutOwned(CohMsg &msg, L2Line *line);
+    void processUnblock(CohMsg &msg);
+    void processRecallResponse(CohMsg &msg);
+
+    /** NP block: allocate a frame (recalling a victim if needed) and
+     * fetch from DRAM, then grant. */
+    void allocateAndFetch(CohMsg msg);
+    void startRecall(L2Line *victim, CohMsg pending_msg);
+    void finishRecall(Addr victim_addr);
+
+    void retryStalled(Addr block_addr);
+    void retryStalledAllocs();
+
+    // --- helpers ---
+    static unsigned popcount(std::uint32_t m);
+    bool isSharer(const L2Line &line, L1Id id) const;
+    void sendInvs(L2Line &line, L1Id skip, L1Id ack_dest);
+    void sendToL1(L1Id dst, CohMsg msg, Tick extra_latency);
+    void sendPutAck(Addr block_addr, L1Id dst);
+    /** Serve a data response whose payload nominally comes from the
+     * L2 array; in memory-resident mode it is fetched off-chip. */
+    void serveData(L1Id dst, CohMsg msg);
+
+    sim::EventQueue *eq_;
+    DirConfig cfg_;
+    int bankId_;
+    int numBanks_;
+    noc::Network *net_;
+    noc::NodeId node_;
+    mem::DramCtrl *dram_;
+    mem::PhysMem *phys_;
+
+    cache::CacheArray<L2Line> array_;
+    std::unordered_map<Addr, Txn> txns_;
+    std::unordered_map<Addr, Recall> recalls_;
+    std::unordered_map<Addr, std::deque<CohMsg>> stalled_;
+    std::vector<CohMsg> stalledAllocs_;
+    std::vector<L1Ref> l1s_;
+
+    sim::Counter &getS_;
+    sim::Counter &getM_;
+    sim::Counter &fetches_;
+    sim::Counter &writebacks_;
+    sim::Counter &recallsStat_;
+    sim::Counter &stalls_;
+};
+
+} // namespace ccsvm::coherence
+
+#endif // CCSVM_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,654 @@
+#include "coherence/l1_cache.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace ccsvm::coherence
+{
+
+L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
+                           const std::string &name, const L1Config &cfg,
+                           L1Id id, noc::Network &net,
+                           noc::NodeId my_node, SwmrMonitor *monitor)
+    : eq_(&eq), cfg_(cfg), id_(id), net_(&net), node_(my_node),
+      monitor_(monitor), array_(cfg.sizeBytes, cfg.assoc),
+      hits_(stats.counter(name + ".hits", "L1 accesses hitting")),
+      misses_(stats.counter(name + ".misses", "L1 accesses missing")),
+      evictions_(stats.counter(name + ".evictions", "L1 evictions")),
+      invsReceived_(stats.counter(name + ".invs",
+                                  "invalidations received")),
+      fwdsServed_(stats.counter(name + ".fwds",
+                                "cache-to-cache transfers supplied")),
+      upgrades_(stats.counter(name + ".upgrades",
+                              "S/O-to-M upgrade transactions"))
+{}
+
+void
+L1Controller::connectDirectories(std::vector<DirRef> banks)
+{
+    banks_ = std::move(banks);
+    ccsvm_assert(!banks_.empty(), "L1 needs at least one dir bank");
+}
+
+void
+L1Controller::connectPeers(std::vector<L1Ref> peers)
+{
+    peers_ = std::move(peers);
+}
+
+DirRef &
+L1Controller::bankFor(Addr block_addr)
+{
+    const auto bank = (block_addr >> mem::blockShift) % banks_.size();
+    return banks_[bank];
+}
+
+void
+L1Controller::setLineState(Line &line, CohState s)
+{
+    line.state = s;
+    if (monitor_)
+        monitor_->onSetState(id_, line.addr, s);
+}
+
+void
+L1Controller::dropLine(Line *line)
+{
+    if (monitor_)
+        monitor_->onDrop(id_, line->addr);
+    array_.invalidate(line);
+}
+
+CohState
+L1Controller::stateOf(Addr block_addr)
+{
+    Line *line = array_.lookup(mem::blockAlign(block_addr));
+    return line ? line->state : CohState::I;
+}
+
+// ---------------------------------------------------------------------
+// Core-side access path
+// ---------------------------------------------------------------------
+
+std::uint64_t
+L1Controller::performOp(Line &line, MemRequest &req)
+{
+    const unsigned off = static_cast<unsigned>(
+        req.paddr & mem::blockOffsetMask);
+    ccsvm_assert(off + req.size <= mem::blockBytes,
+                 "access crosses block boundary pa=0x%llx size=%u",
+                 (unsigned long long)req.paddr, req.size);
+
+    std::uint64_t old_val = 0;
+    std::memcpy(&old_val, line.data.data() + off, req.size);
+
+    switch (req.kind) {
+      case MemRequest::Kind::Read:
+        ccsvm_assert(canRead(line.state), "read without permission");
+        return old_val;
+      case MemRequest::Kind::Write: {
+        ccsvm_assert(canWrite(line.state), "write without permission");
+        std::memcpy(line.data.data() + off, &req.wdata, req.size);
+        if (line.state == CohState::E)
+            setLineState(line, CohState::M);
+        return 0;
+      }
+      case MemRequest::Kind::Amo: {
+        ccsvm_assert(canWrite(line.state), "AMO without permission");
+        const std::uint64_t new_val =
+            amoApply(req.amoOp, old_val, req.operand, req.operand2);
+        std::memcpy(line.data.data() + off, &new_val, req.size);
+        if (line.state == CohState::E)
+            setLineState(line, CohState::M);
+        return old_val;
+      }
+    }
+    ccsvm_panic("unreachable");
+}
+
+void
+L1Controller::completeOp(MemRequestPtr req, std::uint64_t value)
+{
+    // The hit latency models the L1 access pipeline; misses already
+    // paid the protocol latency on top.
+    auto cb = std::move(req->onDone);
+    eq_->scheduleIn(cfg_.hitLatency,
+                    [cb = std::move(cb), value] { cb(value); });
+}
+
+void
+L1Controller::access(MemRequestPtr req)
+{
+    const Addr block = mem::blockAlign(req->paddr);
+
+    // Block mid-eviction: wait for the PutAck, then retry.
+    if (auto ev = evicts_.find(block); ev != evicts_.end()) {
+        ev->second.waiters.push_back(std::move(req));
+        return;
+    }
+
+    Line *line = array_.lookup(block);
+    if (line) {
+        const bool ok = req->needsWrite() ? canWrite(line->state)
+                                          : canRead(line->state);
+        if (ok) {
+            ++hits_;
+            array_.touch(line);
+            const std::uint64_t v = performOp(*line, *req);
+            completeOp(std::move(req), v);
+            return;
+        }
+    }
+
+    ++misses_;
+    if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+        // Coalesce into the outstanding transaction.
+        it->second.ops.push_back(std::move(req));
+        return;
+    }
+    if (mshrs_.size() >= cfg_.maxMshrs) {
+        overflow_.push_back(std::move(req));
+        return;
+    }
+
+    auto &entry = mshrs_[block];
+    entry.blockAddr = block;
+    entry.wantM = req->needsWrite();
+    if (entry.wantM && line)
+        ++upgrades_;
+    entry.ops.push_back(std::move(req));
+    startTransaction(entry);
+}
+
+void
+L1Controller::startTransaction(MshrEntry &entry)
+{
+    entry.issued = true;
+    entry.dataReceived = false;
+    entry.granted = false;
+    entry.acksExpected = -1;
+    entry.acksReceived = 0;
+    entry.fillState = CohState::I;
+    entry.fillDirty = false;
+    entry.unblockSent = false;
+
+    CohMsg msg;
+    msg.type = entry.wantM ? MsgType::GetM : MsgType::GetS;
+    msg.blockAddr = entry.blockAddr;
+    msg.sender = id_;
+    msg.requestor = id_;
+    sendToDir(std::move(msg));
+}
+
+// ---------------------------------------------------------------------
+// Fill / completion path
+// ---------------------------------------------------------------------
+
+void
+L1Controller::tryComplete(MshrEntry &entry)
+{
+    const bool have_block = entry.dataReceived || entry.granted;
+    const bool have_acks =
+        entry.acksExpected >= 0 &&
+        entry.acksReceived == entry.acksExpected;
+    if (have_block && have_acks)
+        finalizeFill(entry);
+}
+
+L1Controller::Line *
+L1Controller::installLine(Addr block_addr)
+{
+    Line *line = array_.allocate(block_addr);
+    if (line)
+        return line;
+
+    // Evict the LRU line that has no transaction in flight.
+    Line *victim = array_.findVictim(
+        block_addr, [this](const Line &l) {
+            return mshrs_.find(l.addr) == mshrs_.end();
+        });
+    if (!victim)
+        return nullptr; // all ways busy upgrading: stall this fill
+    evictLine(victim);
+    line = array_.allocate(block_addr);
+    ccsvm_assert(line, "allocation must succeed after eviction");
+    return line;
+}
+
+void
+L1Controller::evictLine(Line *line)
+{
+    ++evictions_;
+    const Addr addr = line->addr;
+    ccsvm_assert(evicts_.find(addr) == evicts_.end(),
+                 "double eviction of block 0x%llx",
+                 (unsigned long long)addr);
+
+    auto &ev = evicts_[addr];
+    ev.state = line->state;
+    ev.data = line->data;
+
+    CohMsg msg;
+    msg.blockAddr = addr;
+    msg.sender = id_;
+    if (line->state == CohState::S) {
+        msg.type = MsgType::PutS;
+    } else {
+        msg.type = MsgType::PutOwned;
+        const bool dirty = line->state == CohState::M ||
+                           line->state == CohState::O;
+        msg.dirty = dirty;
+        if (dirty) {
+            msg.hasData = true;
+            msg.data = line->data;
+        }
+    }
+    dropLine(line);
+    sendToDir(std::move(msg));
+}
+
+void
+L1Controller::finalizeFill(MshrEntry &entry)
+{
+    const Addr addr = entry.blockAddr;
+    Line *line = array_.lookup(addr);
+
+    if (!line) {
+        line = installLine(addr);
+        if (!line) {
+            // No frame free; retried when a transaction completes.
+            stalledFills_.push_back(addr);
+            return;
+        }
+    }
+
+    if (entry.dataReceived) {
+        line->data = entry.data;
+        setLineState(*line, entry.fillState);
+    } else {
+        // Dataless GrantM: we kept our S/O data.
+        ccsvm_assert(entry.granted, "fill without data or grant");
+        setLineState(*line, CohState::M);
+    }
+    array_.touch(line);
+
+    if (!entry.unblockSent) {
+        entry.unblockSent = true;
+        CohMsg ub;
+        ub.type = MsgType::Unblock;
+        ub.blockAddr = addr;
+        ub.sender = id_;
+        ub.requestor = id_;
+        ub.finalState = line->state;
+        ub.ownerDirty = entry.fillDirty;
+        sendToDir(std::move(ub));
+    }
+
+    replayOps(entry, line);
+}
+
+void
+L1Controller::replayOps(MshrEntry &entry, Line *line)
+{
+    while (!entry.ops.empty()) {
+        MemRequest &req = *entry.ops.front();
+        const bool ok = req.needsWrite() ? canWrite(line->state)
+                                         : canRead(line->state);
+        if (!ok) {
+            // A store coalesced behind a GetS fill: upgrade.
+            entry.wantM = true;
+            ++upgrades_;
+            startTransaction(entry);
+            return;
+        }
+        const std::uint64_t v = performOp(*line, req);
+        MemRequestPtr done = std::move(entry.ops.front());
+        entry.ops.pop_front();
+        completeOp(std::move(done), v);
+    }
+
+    mshrs_.erase(entry.blockAddr);
+    retryStalledFills();
+    drainOverflow();
+}
+
+void
+L1Controller::retryStalledFills()
+{
+    if (stalledFills_.empty())
+        return;
+    std::vector<Addr> pending;
+    pending.swap(stalledFills_);
+    for (Addr addr : pending) {
+        auto it = mshrs_.find(addr);
+        ccsvm_assert(it != mshrs_.end(), "stalled fill lost its MSHR");
+        finalizeFill(it->second);
+    }
+}
+
+void
+L1Controller::drainOverflow()
+{
+    while (!overflow_.empty() && mshrs_.size() < cfg_.maxMshrs) {
+        MemRequestPtr req = std::move(overflow_.front());
+        overflow_.pop_front();
+        access(std::move(req));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network-side handlers
+// ---------------------------------------------------------------------
+
+void
+L1Controller::handleMessage(CohMsg msg)
+{
+    switch (msg.type) {
+      case MsgType::FwdGetS:
+        handleFwdGetS(msg);
+        break;
+      case MsgType::FwdGetM:
+        handleFwdGetM(msg);
+        break;
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::Recall:
+        handleRecall(msg);
+        break;
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+      case MsgType::GrantM:
+        handleData(msg);
+        break;
+      case MsgType::InvAck:
+        handleInvAck(msg);
+        break;
+      case MsgType::PutAck:
+        handlePutAck(msg);
+        break;
+      default:
+        ccsvm_panic("L1 %d received unexpected %s", id_,
+                    msgTypeName(msg.type));
+    }
+}
+
+void
+L1Controller::handleFwdGetS(CohMsg &msg)
+{
+    ++fwdsServed_;
+    CohMsg rsp;
+    rsp.type = MsgType::DataS;
+    rsp.blockAddr = msg.blockAddr;
+    rsp.sender = id_;
+    rsp.hasData = true;
+    rsp.ackCount = 0;
+
+    if (Line *line = array_.lookup(msg.blockAddr)) {
+        ccsvm_assert(line->state == CohState::E ||
+                         line->state == CohState::M ||
+                         line->state == CohState::O,
+                     "FwdGetS to non-owner in %s",
+                     cohStateName(line->state));
+        rsp.data = line->data;
+        rsp.dirty = line->state != CohState::E;
+        // MOESI: a dirty owner keeps the block in O; a clean E owner
+        // downgrades to S.
+        setLineState(*line, line->state == CohState::E ? CohState::S
+                                                       : CohState::O);
+        sendToL1(msg.requestor, std::move(rsp));
+        return;
+    }
+
+    // Racing with our own eviction: answer from the victim buffer.
+    auto ev = evicts_.find(msg.blockAddr);
+    ccsvm_assert(ev != evicts_.end(),
+                 "FwdGetS for block 0x%llx not held by L1 %d",
+                 (unsigned long long)msg.blockAddr, id_);
+    rsp.data = ev->second.data;
+    rsp.dirty = ev->second.state != CohState::E;
+    sendToL1(msg.requestor, std::move(rsp));
+}
+
+void
+L1Controller::handleFwdGetM(CohMsg &msg)
+{
+    ++fwdsServed_;
+    CohMsg rsp;
+    rsp.type = MsgType::DataM;
+    rsp.blockAddr = msg.blockAddr;
+    rsp.sender = id_;
+    rsp.hasData = true;
+    rsp.ackCount = msg.ackCount;
+
+    if (Line *line = array_.lookup(msg.blockAddr)) {
+        ccsvm_assert(line->state == CohState::E ||
+                         line->state == CohState::M ||
+                         line->state == CohState::O,
+                     "FwdGetM to non-owner in %s",
+                     cohStateName(line->state));
+        rsp.data = line->data;
+        dropLine(line);
+        sendToL1(msg.requestor, std::move(rsp));
+        return;
+    }
+
+    auto ev = evicts_.find(msg.blockAddr);
+    ccsvm_assert(ev != evicts_.end(),
+                 "FwdGetM for block 0x%llx not held by L1 %d",
+                 (unsigned long long)msg.blockAddr, id_);
+    rsp.data = ev->second.data;
+    sendToL1(msg.requestor, std::move(rsp));
+}
+
+void
+L1Controller::sendAckForInv(const CohMsg &inv)
+{
+    CohMsg ack;
+    ack.blockAddr = inv.blockAddr;
+    ack.sender = id_;
+    if (inv.requestor == noL1) {
+        // Recall-driven invalidation: ack the directory.
+        ack.type = MsgType::RecallAck;
+        sendToDir(std::move(ack));
+    } else {
+        ack.type = MsgType::InvAck;
+        sendToL1(inv.requestor, std::move(ack));
+    }
+}
+
+void
+L1Controller::handleInv(CohMsg &msg)
+{
+    ++invsReceived_;
+    if (Line *line = array_.lookup(msg.blockAddr)) {
+        ccsvm_assert(line->state == CohState::S,
+                     "Inv in state %s", cohStateName(line->state));
+        dropLine(line);
+        // If we were upgrading this block (SM), we lost our data; the
+        // directory will necessarily answer our GetM with DataM.
+        sendAckForInv(msg);
+        return;
+    }
+    // Eviction race: our PutS is in flight; ack and let the stale put
+    // be acknowledged later.
+    auto ev = evicts_.find(msg.blockAddr);
+    ccsvm_assert(ev != evicts_.end(),
+                 "Inv for block 0x%llx not held by L1 %d",
+                 (unsigned long long)msg.blockAddr, id_);
+    sendAckForInv(msg);
+}
+
+void
+L1Controller::handleRecall(CohMsg &msg)
+{
+    CohMsg rsp;
+    rsp.blockAddr = msg.blockAddr;
+    rsp.sender = id_;
+
+    if (Line *line = array_.lookup(msg.blockAddr)) {
+        if (line->state == CohState::S) {
+            rsp.type = MsgType::RecallAck;
+        } else {
+            rsp.type = MsgType::RecallData;
+            rsp.hasData = true;
+            rsp.data = line->data;
+            rsp.dirty = line->state != CohState::E;
+        }
+        dropLine(line);
+        sendToDir(std::move(rsp));
+        return;
+    }
+
+    auto ev = evicts_.find(msg.blockAddr);
+    ccsvm_assert(ev != evicts_.end(),
+                 "Recall for block 0x%llx not held by L1 %d",
+                 (unsigned long long)msg.blockAddr, id_);
+    if (ev->second.state == CohState::S) {
+        rsp.type = MsgType::RecallAck;
+    } else {
+        rsp.type = MsgType::RecallData;
+        rsp.hasData = true;
+        rsp.data = ev->second.data;
+        rsp.dirty = ev->second.state != CohState::E;
+    }
+    sendToDir(std::move(rsp));
+}
+
+void
+L1Controller::handleData(CohMsg &msg)
+{
+    auto it = mshrs_.find(msg.blockAddr);
+    ccsvm_assert(it != mshrs_.end(),
+                 "%s for block 0x%llx without MSHR at L1 %d",
+                 msgTypeName(msg.type),
+                 (unsigned long long)msg.blockAddr, id_);
+    MshrEntry &entry = it->second;
+
+    switch (msg.type) {
+      case MsgType::DataS:
+        entry.dataReceived = true;
+        entry.data = msg.data;
+        entry.fillState = CohState::S;
+        entry.fillDirty = msg.dirty;
+        entry.acksExpected = 0;
+        break;
+      case MsgType::DataE:
+        entry.dataReceived = true;
+        entry.data = msg.data;
+        entry.fillState = CohState::E;
+        entry.acksExpected = 0;
+        break;
+      case MsgType::DataM:
+        entry.dataReceived = true;
+        entry.data = msg.data;
+        entry.fillState = CohState::M;
+        entry.acksExpected = msg.ackCount;
+        break;
+      case MsgType::GrantM:
+        entry.granted = true;
+        entry.acksExpected = msg.ackCount;
+        break;
+      default:
+        ccsvm_panic("unreachable");
+    }
+    tryComplete(entry);
+}
+
+void
+L1Controller::handleInvAck(CohMsg &msg)
+{
+    auto it = mshrs_.find(msg.blockAddr);
+    ccsvm_assert(it != mshrs_.end(),
+                 "InvAck without MSHR at L1 %d", id_);
+    ++it->second.acksReceived;
+    tryComplete(it->second);
+}
+
+void
+L1Controller::handlePutAck(CohMsg &msg)
+{
+    auto it = evicts_.find(msg.blockAddr);
+    ccsvm_assert(it != evicts_.end(),
+                 "PutAck without eviction at L1 %d", id_);
+    std::deque<MemRequestPtr> waiters = std::move(it->second.waiters);
+    evicts_.erase(it);
+    for (auto &req : waiters)
+        access(std::move(req));
+    retryStalledFills();
+}
+
+// ---------------------------------------------------------------------
+// Functional (zero-time) access support
+// ---------------------------------------------------------------------
+
+bool
+L1Controller::funcReadBlock(Addr block_addr, std::uint8_t *out)
+{
+    if (Line *line = array_.lookup(block_addr)) {
+        if (line->state == CohState::E || line->state == CohState::M ||
+            line->state == CohState::O) {
+            std::memcpy(out, line->data.data(), mem::blockBytes);
+            return true;
+        }
+        return false;
+    }
+    auto ev = evicts_.find(block_addr);
+    if (ev != evicts_.end() && ev->second.state != CohState::S &&
+        ev->second.state != CohState::I) {
+        std::memcpy(out, ev->second.data.data(), mem::blockBytes);
+        return true;
+    }
+    return false;
+}
+
+void
+L1Controller::funcWriteBlock(Addr block_addr, unsigned offset,
+                             const void *src, unsigned len)
+{
+    ccsvm_assert(offset + len <= mem::blockBytes,
+                 "functional write crosses block");
+    if (Line *line = array_.lookup(block_addr))
+        std::memcpy(line->data.data() + offset, src, len);
+    if (auto ev = evicts_.find(block_addr); ev != evicts_.end())
+        std::memcpy(ev->second.data.data() + offset, src, len);
+    if (auto it = mshrs_.find(block_addr);
+        it != mshrs_.end() && it->second.dataReceived)
+        std::memcpy(it->second.data.data() + offset, src, len);
+}
+
+// ---------------------------------------------------------------------
+// Messaging helpers
+// ---------------------------------------------------------------------
+
+void
+L1Controller::sendToDir(CohMsg msg)
+{
+    DirRef &bank = bankFor(msg.blockAddr);
+    const unsigned bytes = msg.wireBytes();
+    const noc::VNet vnet = msg.vnet();
+    Directory *dir = bank.ctrl;
+    net_->send(node_, bank.node, vnet, bytes,
+               [dir, msg = std::move(msg)]() mutable {
+                   directoryDeliver(dir, std::move(msg));
+               });
+}
+
+void
+L1Controller::sendToL1(L1Id dst, CohMsg msg)
+{
+    ccsvm_assert(dst >= 0 &&
+                     static_cast<std::size_t>(dst) < peers_.size(),
+                 "bad peer L1 id %d", dst);
+    L1Controller *peer = peers_[dst].ctrl;
+    const unsigned bytes = msg.wireBytes();
+    const noc::VNet vnet = msg.vnet();
+    net_->send(node_, peers_[dst].node, vnet, bytes,
+               [peer, msg = std::move(msg)]() mutable {
+                   peer->handleMessage(std::move(msg));
+               });
+}
+
+} // namespace ccsvm::coherence

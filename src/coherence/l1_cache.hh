@@ -1,0 +1,202 @@
+/**
+ * @file
+ * L1 cache controller: the per-core side of the MOESI directory
+ * protocol.
+ *
+ * Each CPU core and each MTTOP core has a private write-back L1
+ * (Table 2: CPU 64 KB 4-way, MTTOP 16 KB 4-way). Atomics are performed
+ * at the L1 after acquiring exclusive coherence permission, as the
+ * paper specifies for its MTTOP cores (Sec. 3.2.4). Misses allocate
+ * MSHRs (with same-block coalescing, which the MTTOP's many threads
+ * rely on); evictions move the block to a victim buffer so forwards
+ * and invalidations racing with the eviction can still be answered.
+ */
+
+#ifndef CCSVM_COHERENCE_L1_CACHE_HH
+#define CCSVM_COHERENCE_L1_CACHE_HH
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "cache/cache_array.hh"
+#include "coherence/mem_request.hh"
+#include "coherence/msgs.hh"
+#include "coherence/monitor.hh"
+#include "noc/network.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace ccsvm::coherence
+{
+
+class Directory;
+class L1Controller;
+
+/** Defined in directory.cc; forwards to Directory::handleMessage
+ * without requiring the full Directory type here. */
+void directoryDeliver(Directory *dir, CohMsg msg);
+
+/** Wiring record: a peer L1 and its network attachment point. */
+struct L1Ref
+{
+    L1Controller *ctrl = nullptr;
+    noc::NodeId node = -1;
+};
+
+/** Wiring record: a directory bank and its network attachment point. */
+struct DirRef
+{
+    Directory *ctrl = nullptr;
+    noc::NodeId node = -1;
+};
+
+/** L1 geometry and timing. */
+struct L1Config
+{
+    Addr sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    Tick hitLatency = 690;      ///< 2 CPU cycles at 2.9 GHz (Table 2)
+    unsigned maxMshrs = 16;
+};
+
+/** One L1 cache controller. */
+class L1Controller
+{
+  public:
+    L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
+                 const std::string &name, const L1Config &cfg, L1Id id,
+                 noc::Network &net, noc::NodeId my_node,
+                 SwmrMonitor *monitor);
+
+    /** Wire up the directory banks (index = bank number). */
+    void connectDirectories(std::vector<DirRef> banks);
+
+    /** Wire up peer L1s for cache-to-cache transfers (index = L1Id). */
+    void connectPeers(std::vector<L1Ref> peers);
+
+    /** Core-side entry point: submit one request. */
+    void access(MemRequestPtr req);
+
+    /** Network-side entry point. */
+    void handleMessage(CohMsg msg);
+
+    L1Id id() const { return id_; }
+    noc::NodeId node() const { return node_; }
+
+    /** Stable state of a block (I if absent); for tests. */
+    CohState stateOf(Addr block_addr);
+
+    /** Outstanding transactions (for drain checks in tests). */
+    std::size_t pendingTransactions() const { return mshrs_.size(); }
+
+    /**
+     * Functional probe: if this L1 holds @p block_addr in an owner
+     * state (E/M/O) — in the array or the victim buffer — copy the 64
+     * bytes to @p out and return true.
+     */
+    bool funcReadBlock(Addr block_addr, std::uint8_t *out);
+
+    /** Functional write-through: patch any copy this L1 holds (array
+     * line, victim buffer, or in-flight fill data). */
+    void funcWriteBlock(Addr block_addr, unsigned offset,
+                        const void *src, unsigned len);
+
+  private:
+    /** One L1 line: stable MOESI state plus real data. */
+    struct Line
+    {
+        Addr addr = invalidAddr;
+        bool valid = false;
+        CohState state = CohState::I;
+        std::array<std::uint8_t, mem::blockBytes> data{};
+    };
+
+    /** Miss status holding register: one outstanding transaction. */
+    struct MshrEntry
+    {
+        Addr blockAddr = invalidAddr;
+        bool wantM = false;
+        bool issued = false;
+        bool dataReceived = false;
+        bool granted = false;  ///< dataless GrantM received
+        int acksExpected = -1; ///< unknown until Data/Grant arrives
+        int acksReceived = 0;
+        CohState fillState = CohState::I;
+        bool fillDirty = false; ///< DataS came from a dirty owner
+        std::array<std::uint8_t, mem::blockBytes> data{};
+        std::deque<MemRequestPtr> ops;
+        bool unblockSent = false;
+    };
+
+    /** Victim buffer entry: eviction awaiting PutAck. */
+    struct EvictEntry
+    {
+        CohState state = CohState::I;
+        std::array<std::uint8_t, mem::blockBytes> data{};
+        std::deque<MemRequestPtr> waiters;
+    };
+
+    // --- protocol actions ---
+    void startTransaction(MshrEntry &entry);
+    void tryComplete(MshrEntry &entry);
+    void finalizeFill(MshrEntry &entry);
+    void replayOps(MshrEntry &entry, Line *line);
+    void retryStalledFills();
+    void drainOverflow();
+
+    /** Make room and install a filled block; nullptr when the set is
+     * fully occupied by lines with active transactions (fill stalls). */
+    Line *installLine(Addr block_addr);
+    void evictLine(Line *line);
+
+    /** Functional access on held data; returns the load/old value. */
+    std::uint64_t performOp(Line &line, MemRequest &req);
+    void completeOp(MemRequestPtr req, std::uint64_t value);
+
+    // --- message handlers ---
+    void handleFwdGetS(CohMsg &msg);
+    void handleFwdGetM(CohMsg &msg);
+    void handleInv(CohMsg &msg);
+    void handleRecall(CohMsg &msg);
+    void handleData(CohMsg &msg);
+    void handleInvAck(CohMsg &msg);
+    void handlePutAck(CohMsg &msg);
+
+    // --- messaging helpers ---
+    void sendToDir(CohMsg msg);
+    void sendToL1(L1Id dst, CohMsg msg);
+    void sendAckForInv(const CohMsg &inv);
+    void setLineState(Line &line, CohState s);
+    void dropLine(Line *line);
+    DirRef &bankFor(Addr block_addr);
+
+    sim::EventQueue *eq_;
+    L1Config cfg_;
+    L1Id id_;
+    noc::Network *net_;
+    noc::NodeId node_;
+    SwmrMonitor *monitor_;
+
+    cache::CacheArray<Line> array_;
+    std::unordered_map<Addr, MshrEntry> mshrs_;
+    std::unordered_map<Addr, EvictEntry> evicts_;
+    std::deque<MemRequestPtr> overflow_;
+    std::vector<Addr> stalledFills_;
+
+    std::vector<DirRef> banks_;
+    std::vector<L1Ref> peers_;
+
+    sim::Counter &hits_;
+    sim::Counter &misses_;
+    sim::Counter &evictions_;
+    sim::Counter &invsReceived_;
+    sim::Counter &fwdsServed_;
+    sim::Counter &upgrades_;
+};
+
+} // namespace ccsvm::coherence
+
+#endif // CCSVM_COHERENCE_L1_CACHE_HH

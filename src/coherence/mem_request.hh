@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A core-issued memory request as presented to an L1 controller.
+ *
+ * Requests are single-block scalar accesses (guest loads/stores/atomics
+ * are naturally aligned and at most 8 bytes, so they never straddle a
+ * 64-byte block). The L1 performs the functional access on real block
+ * data once coherence permission is held and invokes onDone with the
+ * read (or pre-RMW) value.
+ */
+
+#ifndef CCSVM_COHERENCE_MEM_REQUEST_HH
+#define CCSVM_COHERENCE_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "base/types.hh"
+#include "coherence/types.hh"
+
+namespace ccsvm::coherence
+{
+
+/** One load, store or atomic RMW presented to an L1. */
+struct MemRequest
+{
+    enum class Kind : std::uint8_t { Read, Write, Amo };
+
+    Kind kind = Kind::Read;
+    Addr paddr = 0;
+    unsigned size = 8;
+
+    std::uint64_t wdata = 0;    ///< store data
+    AmoOp amoOp = AmoOp::Add;   ///< atomic operation
+    std::uint64_t operand = 0;  ///< AMO operand (compare value for CAS)
+    std::uint64_t operand2 = 0; ///< AMO second operand (CAS swap value)
+
+    /** Completion callback; the argument is the loaded value (loads)
+     * or the old value (atomics); 0 for stores. */
+    std::function<void(std::uint64_t)> onDone;
+
+    bool needsWrite() const { return kind != Kind::Read; }
+};
+
+using MemRequestPtr = std::unique_ptr<MemRequest>;
+
+} // namespace ccsvm::coherence
+
+#endif // CCSVM_COHERENCE_MEM_REQUEST_HH

@@ -1,0 +1,81 @@
+#include "coherence/monitor.hh"
+
+#include "base/logging.hh"
+
+namespace ccsvm::coherence
+{
+
+void
+SwmrMonitor::onSetState(L1Id id, Addr block_addr, CohState s)
+{
+    auto &info = blocks_[block_addr];
+
+    // Remove any previous record for this L1 on this block.
+    info.readers.erase(id);
+    if (info.writer == id)
+        info.writer = noL1;
+    if (info.owner == id)
+        info.owner = noL1;
+
+    switch (s) {
+      case CohState::I:
+        break;
+      case CohState::S:
+        info.readers.insert(id);
+        break;
+      case CohState::O:
+        info.readers.insert(id);
+        ccsvm_assert(info.owner == noL1,
+                     "two owners for block 0x%llx: L1 %d and L1 %d",
+                     (unsigned long long)block_addr, info.owner, id);
+        info.owner = id;
+        break;
+      case CohState::E:
+      case CohState::M:
+        info.writer = id;
+        break;
+    }
+    check(block_addr);
+}
+
+void
+SwmrMonitor::onDrop(L1Id id, Addr block_addr)
+{
+    onSetState(id, block_addr, CohState::I);
+}
+
+unsigned
+SwmrMonitor::holders(Addr block_addr) const
+{
+    auto it = blocks_.find(block_addr);
+    if (it == blocks_.end())
+        return 0;
+    const auto &info = it->second;
+    return static_cast<unsigned>(info.readers.size()) +
+           (info.writer != noL1 ? 1u : 0u);
+}
+
+void
+SwmrMonitor::check(Addr block_addr) const
+{
+    auto it = blocks_.find(block_addr);
+    if (it == blocks_.end())
+        return;
+    const auto &info = it->second;
+
+    if (info.writer != noL1) {
+        // A writer (E or M) must be the sole holder.
+        ccsvm_assert(info.readers.empty(),
+                     "SWMR violated: block 0x%llx has writer L1 %d and "
+                     "%zu readers",
+                     (unsigned long long)block_addr, info.writer,
+                     info.readers.size());
+        ccsvm_assert(info.owner == noL1,
+                     "SWMR violated: block 0x%llx has writer L1 %d and "
+                     "owner L1 %d",
+                     (unsigned long long)block_addr, info.writer,
+                     info.owner);
+    }
+}
+
+} // namespace ccsvm::coherence

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Coherence protocol messages.
+ *
+ * One message struct covers all protocol traffic; the type field
+ * selects which other fields are meaningful. Control messages are 8
+ * bytes on the wire, data messages 72 (64 B payload + 8 B header),
+ * matching common directory-protocol accounting.
+ */
+
+#ifndef CCSVM_COHERENCE_MSGS_HH
+#define CCSVM_COHERENCE_MSGS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "coherence/types.hh"
+#include "mem/phys_mem.hh"
+#include "noc/network.hh"
+
+namespace ccsvm::coherence
+{
+
+/** All protocol message types, grouped by virtual network. */
+enum class MsgType : std::uint8_t
+{
+    // Request vnet: L1 -> directory.
+    GetS,      ///< read permission
+    GetM,      ///< write permission
+    PutS,      ///< shared-copy eviction notice
+    PutOwned,  ///< E/M/O eviction; carries data when dirty
+
+    // Forward vnet: directory -> L1.
+    FwdGetS,   ///< supply data to requestor, keep O/S copy
+    FwdGetM,   ///< supply data to requestor, invalidate
+    Inv,       ///< invalidate shared copy, ack to ackDest
+    Recall,    ///< inclusive-L2 eviction: surrender the block to dir
+
+    // Response vnet.
+    DataS,       ///< shared data (dirty flag set when from an O/M owner)
+    DataE,       ///< exclusive clean data grant
+    DataM,       ///< modifiable data; ackCount invalidations pending
+    GrantM,      ///< dataless write grant (requestor already has data)
+    InvAck,      ///< one invalidation done
+    PutAck,      ///< eviction acknowledged (possibly stale)
+    RecallAck,   ///< shared copy surrendered to dir
+    RecallData,  ///< owned copy surrendered to dir, with data
+    Unblock,     ///< requestor closes the directory transaction
+};
+
+const char *msgTypeName(MsgType t);
+
+/** On-wire sizes used for link-bandwidth accounting. */
+inline constexpr unsigned ctrlMsgBytes = 8;
+inline constexpr unsigned dataMsgBytes = 8 + mem::blockBytes;
+
+/** A coherence protocol message. */
+struct CohMsg
+{
+    MsgType type{};
+    Addr blockAddr = invalidAddr;
+
+    /** L1Id of the sending L1, or noL1 when sent by a directory. */
+    L1Id sender = noL1;
+
+    /** Original requestor (routing target for forwards and acks). */
+    L1Id requestor = noL1;
+
+    /** Invalidation acks the requestor must collect (DataM/GrantM/
+     * FwdGetM). */
+    int ackCount = 0;
+
+    /** Data payload validity and dirtiness. */
+    bool hasData = false;
+    bool dirty = false;
+    std::array<std::uint8_t, mem::blockBytes> data{};
+
+    /** Unblock: the requestor's final state (S/E/M). */
+    CohState finalState = CohState::I;
+    /** Unblock after a FwdGetS: previous owner kept a dirty copy. */
+    bool ownerDirty = false;
+
+    unsigned
+    wireBytes() const
+    {
+        return hasData ? dataMsgBytes : ctrlMsgBytes;
+    }
+
+    noc::VNet
+    vnet() const
+    {
+        switch (type) {
+          case MsgType::GetS:
+          case MsgType::GetM:
+          case MsgType::PutS:
+          case MsgType::PutOwned:
+            return noc::VNet::Request;
+          case MsgType::FwdGetS:
+          case MsgType::FwdGetM:
+          case MsgType::Inv:
+          case MsgType::Recall:
+            return noc::VNet::Forward;
+          default:
+            return noc::VNet::Response;
+        }
+    }
+};
+
+} // namespace ccsvm::coherence
+
+#endif // CCSVM_COHERENCE_MSGS_HH

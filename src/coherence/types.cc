@@ -1,0 +1,61 @@
+#include "coherence/types.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ccsvm::coherence
+{
+
+const char *
+cohStateName(CohState s)
+{
+    switch (s) {
+      case CohState::I: return "I";
+      case CohState::S: return "S";
+      case CohState::E: return "E";
+      case CohState::M: return "M";
+      case CohState::O: return "O";
+    }
+    return "?";
+}
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::S: return "S";
+      case DirState::X: return "X";
+      case DirState::O: return "O";
+    }
+    return "?";
+}
+
+std::uint64_t
+amoApply(AmoOp op, std::uint64_t old_val, std::uint64_t operand,
+         std::uint64_t operand2)
+{
+    switch (op) {
+      case AmoOp::Add:
+        return old_val + operand;
+      case AmoOp::Inc:
+        return old_val + 1;
+      case AmoOp::Dec:
+        return old_val - 1;
+      case AmoOp::Cas:
+        return old_val == operand ? operand2 : old_val;
+      case AmoOp::Exch:
+        return operand;
+      case AmoOp::Min:
+        return std::min<std::int64_t>(
+            static_cast<std::int64_t>(old_val),
+            static_cast<std::int64_t>(operand));
+      case AmoOp::Max:
+        return std::max<std::int64_t>(
+            static_cast<std::int64_t>(old_val),
+            static_cast<std::int64_t>(operand));
+    }
+    ccsvm_panic("unknown AMO op %d", static_cast<int>(op));
+}
+
+} // namespace ccsvm::coherence

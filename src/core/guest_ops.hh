@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Guest operation types: the interface between guest code (coroutines)
+ * and core timing models.
+ *
+ * A guest kernel expresses its work as a sequence of typed operations
+ * — loads, stores, atomics, compute batches, and the write syscall to
+ * the MIFD. Cores consume these at their issue rates (CPU: max IPC
+ * 0.5; MTTOP: 8 thread-ops/cycle over 128 contexts) and route memory
+ * operations through TLB -> coherence protocol -> NoC -> DRAM.
+ */
+
+#ifndef CCSVM_CORE_GUEST_OPS_HH
+#define CCSVM_CORE_GUEST_OPS_HH
+
+#include <functional>
+#include <memory>
+
+#include "base/types.hh"
+#include "coherence/types.hh"
+#include "sim/guest_task.hh"
+#include "vm/page_table.hh"
+
+namespace ccsvm::runtime
+{
+class Process;
+} // namespace ccsvm::runtime
+
+namespace ccsvm::core
+{
+
+class ThreadContext;
+
+/** Guest kernel entry point: the task's "program counter". */
+using KernelFn =
+    std::function<sim::GuestTask(ThreadContext &, vm::VAddr)>;
+
+/**
+ * A task launched on the MTTOP via the MIFD write syscall. Matches
+ * the paper's descriptor: {program counter of function, arguments to
+ * function, first thread's ID, CR3 register} (Sec. 4.3); CR3 travels
+ * via the process pointer.
+ */
+struct TaskDescriptor
+{
+    KernelFn fn;
+    vm::VAddr args = 0;
+    ThreadId firstTid = 0;
+    ThreadId lastTid = 0;
+    runtime::Process *process = nullptr;
+    /** Task needs all threads resident for global synchronization. */
+    bool requireAll = true;
+    /** Host callback once every thread of the task has exited. */
+    std::function<void()> onComplete;
+
+    unsigned
+    numThreads() const
+    {
+        return lastTid - firstTid + 1;
+    }
+};
+
+/** Shared completion bookkeeping for one launched task. */
+struct TaskState
+{
+    int remaining = 0;
+    std::function<void()> onComplete;
+};
+
+/** Abstract MIFD as seen from the cores (implemented in dev/). */
+class MifdIface
+{
+  public:
+    virtual ~MifdIface() = default;
+
+    /** CPU write syscall payload arrives here. */
+    virtual void submitTask(TaskDescriptor desc) = 0;
+
+    /** An MTTOP core relays a page fault to a CPU via the MIFD. */
+    virtual void relayPageFault(runtime::Process &proc, vm::VAddr va,
+                                std::function<void()> retry) = 0;
+
+    /** MTTOP thread contexts became free; pending chunks may start. */
+    virtual void notifyContextsFreed() = 0;
+};
+
+/** Kinds of guest operations. */
+enum class OpKind : std::uint8_t
+{
+    Load,
+    Store,
+    Amo,
+    Compute,
+    MifdWrite,
+    Stall,    ///< occupy the thread for a fixed time (driver calls)
+    HostWait, ///< poll a host-side predicate (e.g. clFinish)
+};
+
+/** One declared guest operation. */
+struct GuestOp
+{
+    OpKind kind = OpKind::Compute;
+    vm::VAddr va = 0;
+    unsigned size = 8;
+    std::uint64_t wdata = 0;
+    coherence::AmoOp amoOp = coherence::AmoOp::Add;
+    std::uint64_t operand = 0;
+    std::uint64_t operand2 = 0;
+    std::uint64_t computeCount = 0;
+    std::shared_ptr<TaskDescriptor> task; ///< for MifdWrite
+    Tick stallTicks = 0;                  ///< for Stall
+    std::function<bool()> hostPred;       ///< for HostWait
+    std::uint64_t result = 0;
+
+    bool
+    isMemory() const
+    {
+        return kind == OpKind::Load || kind == OpKind::Store ||
+               kind == OpKind::Amo;
+    }
+
+    bool
+    needsWrite() const
+    {
+        return kind == OpKind::Store || kind == OpKind::Amo;
+    }
+};
+
+/** Interface implemented by core timing models. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** A thread bound to this core declared its next operation. */
+    virtual void onOpDeclared(ThreadContext &tc) = 0;
+
+    /** A thread's root coroutine ran to completion. */
+    virtual void onThreadDone(ThreadContext &tc) = 0;
+};
+
+} // namespace ccsvm::core
+
+#endif // CCSVM_CORE_GUEST_OPS_HH

@@ -1,0 +1,160 @@
+#include "noc/torus.hh"
+
+#include "base/logging.hh"
+
+namespace ccsvm::noc
+{
+
+TorusNetwork::TorusNetwork(sim::EventQueue &eq, sim::StatRegistry &stats,
+                           const std::string &name,
+                           const TorusConfig &cfg)
+    : eq_(&eq), cfg_(cfg), clock_(eq, cfg.clockPeriod),
+      linkFree_(static_cast<std::size_t>(cfg.width) * cfg.height * 4, 0),
+      packets_(stats.counter(name + ".packets", "packets injected")),
+      bytes_(stats.counter(name + ".bytes", "payload bytes injected")),
+      hops_(stats.counter(name + ".hops", "total link traversals")),
+      latency_(stats.distribution(name + ".latency",
+                                  "end-to-end packet latency (ticks)"))
+{
+    ccsvm_assert(cfg.width >= 1 && cfg.height >= 1,
+                 "torus dimensions must be positive");
+}
+
+namespace
+{
+
+/**
+ * Signed shortest displacement from @p a to @p b on a ring of length
+ * @p n: positive means move in the increasing direction.
+ */
+int
+ringDelta(int a, int b, int n)
+{
+    int d = (b - a) % n;
+    if (d < 0)
+        d += n;
+    if (d > n / 2 && n - d < d)
+        d -= n;
+    return d;
+}
+
+} // namespace
+
+NodeId
+TorusNetwork::nextHop(NodeId at, NodeId dst) const
+{
+    const int w = cfg_.width;
+    const int h = cfg_.height;
+    const int ax = at % w, ay = at / w;
+    const int dx_pos = dst % w, dy_pos = dst / w;
+
+    const int dx = ringDelta(ax, dx_pos, w);
+    if (dx != 0) {
+        const int nx = (ax + (dx > 0 ? 1 : -1) + w) % w;
+        return ay * w + nx;
+    }
+    const int dy = ringDelta(ay, dy_pos, h);
+    if (dy != 0) {
+        const int ny = (ay + (dy > 0 ? 1 : -1) + h) % h;
+        return ny * w + ax;
+    }
+    return at;
+}
+
+int
+TorusNetwork::hopCount(NodeId src, NodeId dst) const
+{
+    int hops = 0;
+    NodeId at = src;
+    while (at != dst) {
+        at = nextHop(at, dst);
+        ++hops;
+        ccsvm_assert(hops <= cfg_.width + cfg_.height,
+                     "routing loop from %d to %d", src, dst);
+    }
+    return hops;
+}
+
+int
+TorusNetwork::linkIndex(NodeId from, NodeId to) const
+{
+    const int w = cfg_.width;
+    const int h = cfg_.height;
+    const int fx = from % w, fy = from / w;
+    const int tx = to % w, ty = to / w;
+    int dir;
+    if (fy == ty) {
+        dir = ((fx + 1) % w == tx) ? 0 : 1; // +X : -X
+    } else {
+        dir = ((fy + 1) % h == ty) ? 2 : 3; // +Y : -Y
+    }
+    return from * 4 + dir;
+}
+
+Tick
+TorusNetwork::serializationTicks(unsigned bytes) const
+{
+    // GB/s == bytes/ns; convert to ticks (ps).
+    const double ns =
+        static_cast<double>(bytes) / cfg_.linkBandwidthGBps;
+    const auto t = static_cast<Tick>(ns * tickNs);
+    return t > 0 ? t : 1;
+}
+
+void
+TorusNetwork::send(NodeId src, NodeId dst, VNet vnet, unsigned bytes,
+                   Deliver deliver)
+{
+    ccsvm_assert(src >= 0 && src < numNodes(), "bad src node %d", src);
+    ccsvm_assert(dst >= 0 && dst < numNodes(), "bad dst node %d", dst);
+
+    ++packets_;
+    bytes_ += bytes;
+
+    Packet pkt{dst, bytes, vnet, std::move(deliver)};
+    const Tick start = eq_->now();
+    if (src == dst) {
+        // Local delivery still pays one router traversal.
+        eq_->schedule(clock_.clockEdge(cfg_.hopLatency),
+                      [this, pkt = std::move(pkt), start]() mutable {
+                          latency_.record(
+                              static_cast<double>(eq_->now() - start));
+                          pkt.deliver();
+                      },
+                      sim::prioNetwork);
+        return;
+    }
+    // Tag the packet with its injection time via a wrapper closure.
+    auto done = [this, inner = std::move(pkt.deliver), start]() {
+        latency_.record(static_cast<double>(eq_->now() - start));
+        inner();
+    };
+    pkt.deliver = std::move(done);
+    forward(std::move(pkt), src);
+}
+
+void
+TorusNetwork::forward(Packet pkt, NodeId at)
+{
+    if (at == pkt.dst) {
+        pkt.deliver();
+        return;
+    }
+    const NodeId next = nextHop(at, pkt.dst);
+    const int link = linkIndex(at, next);
+
+    const Tick ser = serializationTicks(pkt.bytes);
+    const Tick depart = std::max(clock_.clockEdge(), linkFree_[link]);
+    linkFree_[link] = depart + ser;
+    const Tick arrive =
+        depart + ser + clock_.cyclesToTicks(cfg_.hopLatency);
+    ++hops_;
+
+    eq_->schedule(arrive,
+                  [this, pkt = std::move(pkt), next]() mutable {
+                      forward(std::move(pkt), next);
+                  },
+                  sim::prioNetwork);
+}
+
+} // namespace ccsvm::noc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * 2D torus interconnect (the paper's Figure 1 topology).
+ *
+ * Packets are routed hop-by-hop with dimension-order (X then Y)
+ * routing, taking the shorter wraparound direction in each dimension.
+ * Each directional physical link models serialization at the configured
+ * bandwidth (Table 2: 12 GB/s) plus a per-hop router+link latency; a
+ * link busy with one packet delays the next (FIFO occupancy), which
+ * both orders same-path messages and models contention.
+ */
+
+#ifndef CCSVM_NOC_TORUS_HH
+#define CCSVM_NOC_TORUS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "noc/network.hh"
+#include "sim/clock.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace ccsvm::noc
+{
+
+/** Torus configuration. */
+struct TorusConfig
+{
+    int width = 5;    ///< nodes per row (X dimension)
+    int height = 4;   ///< nodes per column (Y dimension)
+    double linkBandwidthGBps = 12.0;  ///< Table 2
+    Cycles hopLatency = 2;  ///< router traversal + link, in NoC cycles
+    Tick clockPeriod = 1000; ///< 1 GHz NoC clock
+};
+
+/** 2D torus with XY routing and per-link occupancy. */
+class TorusNetwork : public Network
+{
+  public:
+    TorusNetwork(sim::EventQueue &eq, sim::StatRegistry &stats,
+                 const std::string &name, const TorusConfig &cfg);
+
+    void send(NodeId src, NodeId dst, VNet vnet, unsigned bytes,
+              Deliver deliver) override;
+
+    int numNodes() const override { return cfg_.width * cfg_.height; }
+
+    /**
+     * Next hop from @p at toward @p dst under XY dimension-order
+     * routing with shortest wrap. Exposed for unit tests.
+     */
+    NodeId nextHop(NodeId at, NodeId dst) const;
+
+    /** Minimal hop count between two nodes (for tests). */
+    int hopCount(NodeId src, NodeId dst) const;
+
+  private:
+    struct Packet
+    {
+        NodeId dst;
+        unsigned bytes;
+        VNet vnet;
+        Deliver deliver;
+    };
+
+    /** Directional link index from @p from to adjacent @p to. */
+    int linkIndex(NodeId from, NodeId to) const;
+
+    /** Advance @p pkt from node @p at; called once per hop. */
+    void forward(Packet pkt, NodeId at);
+
+    Tick serializationTicks(unsigned bytes) const;
+
+    sim::EventQueue *eq_;
+    TorusConfig cfg_;
+    sim::ClockDomain clock_;
+    /** busy-until tick per directional link (4 per node: +X -X +Y -Y) */
+    std::vector<Tick> linkFree_;
+
+    sim::Counter &packets_;
+    sim::Counter &bytes_;
+    sim::Counter &hops_;
+    sim::Distribution &latency_;
+};
+
+} // namespace ccsvm::noc
+
+#endif // CCSVM_NOC_TORUS_HH

@@ -1,0 +1,235 @@
+#include "runtime/xthreads.hh"
+
+#include "coherence/types.hh"
+
+namespace ccsvm::xthreads
+{
+
+using coherence::AmoOp;
+
+GuestTask
+createMthread(ThreadContext &ctx, KernelFn fn, VAddr args,
+              ThreadId first, ThreadId last, bool require_all)
+{
+    core::TaskDescriptor desc;
+    desc.fn = std::move(fn);
+    desc.args = args;
+    desc.firstTid = first;
+    desc.lastTid = last;
+    desc.process = ctx.process();
+    desc.requireAll = require_all;
+    co_await ctx.mifdWrite(std::move(desc));
+}
+
+GuestTask
+cpuWaitAll(ThreadContext &ctx, VAddr cond_array, ThreadId first,
+           ThreadId last)
+{
+    // Pure polling: read-shared spinning keeps the condition blocks
+    // in S at the CPU until a signaller's store invalidates them.
+    // Taking exclusive ownership per slot (to mark WaitingOnMTTOP)
+    // would ping-pong every block against the signalling MTTOP
+    // threads — for large thread counts that swamps the task itself.
+    // Slots are one-shot: reuse requires re-initialising the array
+    // (as the paper's benchmarks do between phases).
+    for (ThreadId tid = first; tid <= last; ++tid) {
+        const VAddr slot = condSlot(cond_array, tid);
+        while (true) {
+            const auto v = static_cast<std::uint32_t>(
+                co_await ctx.load<std::uint32_t>(slot));
+            if (v == condReady)
+                break;
+            co_await ctx.compute(spinBackoffCpu);
+        }
+    }
+}
+
+GuestTask
+cpuSignalAll(ThreadContext &ctx, VAddr cond_array, ThreadId first,
+             ThreadId last)
+{
+    for (ThreadId tid = first; tid <= last; ++tid)
+        co_await ctx.store<std::uint32_t>(condSlot(cond_array, tid),
+                                          condReady);
+}
+
+GuestTask
+cpuBarrier(ThreadContext &ctx, VAddr barrier_array, VAddr sense_va,
+           ThreadId first, ThreadId last, std::uint32_t next_sense)
+{
+    // Gather: wait for each MTTOP thread's flag, consuming it.
+    for (ThreadId tid = first; tid <= last; ++tid) {
+        const VAddr slot = condSlot(barrier_array, tid);
+        while (true) {
+            const auto v = static_cast<std::uint32_t>(
+                co_await ctx.load<std::uint32_t>(slot));
+            if (v != 0)
+                break;
+            co_await ctx.compute(spinBackoffCpu);
+        }
+        co_await ctx.store<std::uint32_t>(slot, 0);
+    }
+    // Release: flip the sense.
+    co_await ctx.store<std::uint32_t>(sense_va, next_sense);
+}
+
+GuestTask
+mttopWait(ThreadContext &ctx, VAddr cond_array)
+{
+    const VAddr slot = condSlot(cond_array, ctx.tid());
+    co_await ctx.amo(slot, AmoOp::Cas, condIdle, condWaitingOnCpu, 4);
+    while (true) {
+        const auto v = static_cast<std::uint32_t>(
+            co_await ctx.load<std::uint32_t>(slot));
+        if (v == condReady)
+            break;
+        co_await ctx.compute(spinBackoffMttop);
+    }
+    co_await ctx.store<std::uint32_t>(slot, condIdle);
+}
+
+GuestTask
+mttopSignal(ThreadContext &ctx, VAddr cond_array)
+{
+    co_await ctx.store<std::uint32_t>(
+        condSlot(cond_array, ctx.tid()), condReady);
+}
+
+GuestTask
+mttopBarrier(ThreadContext &ctx, VAddr barrier_array, VAddr sense_va,
+             std::uint32_t expected_sense)
+{
+    co_await ctx.store<std::uint32_t>(
+        condSlot(barrier_array, ctx.tid()), 1);
+    while (true) {
+        const auto s = static_cast<std::uint32_t>(
+            co_await ctx.load<std::uint32_t>(sense_va));
+        if (s == expected_sense)
+            break;
+        co_await ctx.compute(spinBackoffMttop);
+    }
+}
+
+namespace
+{
+
+/** Malloc box layout: +0 u64 size-or-pointer, +8 u32 flag. */
+enum MallocFlag : std::uint32_t
+{
+    boxIdle = 0,
+    boxRequest = 1,
+    boxServed = 2,
+};
+
+} // namespace
+
+GuestTask
+mttopMalloc(ThreadContext &ctx, VAddr box_array, std::uint64_t size,
+            VAddr &out)
+{
+    const VAddr box = mallocBox(box_array, ctx.tid());
+    co_await ctx.store<std::uint64_t>(box, size);
+    co_await ctx.store<std::uint32_t>(box + 8, boxRequest);
+    while (true) {
+        const auto f = static_cast<std::uint32_t>(
+            co_await ctx.load<std::uint32_t>(box + 8));
+        if (f == boxServed)
+            break;
+        co_await ctx.compute(spinBackoffMttop);
+    }
+    out = co_await ctx.load<std::uint64_t>(box);
+    co_await ctx.store<std::uint32_t>(box + 8, boxIdle);
+}
+
+namespace
+{
+
+/** One scan over the request boxes; sets @p served_any. */
+GuestTask
+servePass(ThreadContext &ctx, VAddr box_array, ThreadId first,
+          ThreadId last, bool &served_any)
+{
+    runtime::Process &proc = *ctx.process();
+    served_any = false;
+    for (ThreadId tid = first; tid <= last; ++tid) {
+        const VAddr box = mallocBox(box_array, tid);
+        const auto f = static_cast<std::uint32_t>(
+            co_await ctx.load<std::uint32_t>(box + 8));
+        if (f != boxRequest)
+            continue;
+        served_any = true;
+        const std::uint64_t size =
+            co_await ctx.load<std::uint64_t>(box);
+        // Allocation bookkeeping cost (libc work on a real CPU).
+        co_await ctx.compute(120);
+        const VAddr ptr = proc.gmalloc(size);
+        co_await ctx.store<std::uint64_t>(box, ptr);
+        co_await ctx.store<std::uint32_t>(box + 8, boxServed);
+    }
+}
+
+} // namespace
+
+GuestTask
+cpuMallocServerUntilDone(ThreadContext &ctx, VAddr box_array,
+                         ThreadId first, ThreadId last,
+                         VAddr done_array)
+{
+    while (true) {
+        bool served_any = false;
+        co_await servePass(ctx, box_array, first, last, served_any);
+        if (served_any)
+            continue;
+        bool all_done = true;
+        for (ThreadId tid = first; tid <= last; ++tid) {
+            const auto v = static_cast<std::uint32_t>(
+                co_await ctx.load<std::uint32_t>(
+                    condSlot(done_array, tid)));
+            if (v != condReady) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        co_await ctx.compute(spinBackoffCpu);
+    }
+    for (ThreadId tid = first; tid <= last; ++tid)
+        co_await ctx.store<std::uint32_t>(condSlot(done_array, tid),
+                                          condIdle);
+}
+
+GuestTask
+cpuMallocServer(ThreadContext &ctx, VAddr box_array, ThreadId first,
+                ThreadId last, VAddr stop_va)
+{
+    runtime::Process &proc = *ctx.process();
+    while (true) {
+        bool served_any = false;
+        for (ThreadId tid = first; tid <= last; ++tid) {
+            const VAddr box = mallocBox(box_array, tid);
+            const auto f = static_cast<std::uint32_t>(
+                co_await ctx.load<std::uint32_t>(box + 8));
+            if (f != boxRequest)
+                continue;
+            served_any = true;
+            const std::uint64_t size =
+                co_await ctx.load<std::uint64_t>(box);
+            // The allocation bookkeeping itself (libc work on a real
+            // CPU); the pointer comes from the process allocator.
+            co_await ctx.compute(120);
+            const VAddr ptr = proc.gmalloc(size);
+            co_await ctx.store<std::uint64_t>(box, ptr);
+            co_await ctx.store<std::uint32_t>(box + 8, boxServed);
+        }
+        if (!served_any) {
+            const auto stop = static_cast<std::uint32_t>(
+                co_await ctx.load<std::uint32_t>(stop_va));
+            if (stop != 0)
+                co_return;
+            co_await ctx.compute(spinBackoffCpu);
+        }
+    }
+}
+
+} // namespace ccsvm::xthreads

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The xthreads programming model (paper Sec. 4, Table 1).
+ *
+ * xthreads extends pthreads so a CPU thread can spawn SIMT threads on
+ * the MTTOP with one call; synchronization is wait/signal over
+ * condition-variable arrays in coherent shared memory plus a global
+ * CPU+MTTOP sense-reversing barrier; mttop_malloc offloads dynamic
+ * allocation to a CPU service loop. Everything here is guest code:
+ * every poll, flag write and barrier toggle is a real coherent memory
+ * access that traverses the protocol — which is exactly what the
+ * paper's evaluation measures.
+ *
+ * | paper API                | here                          |
+ * |--------------------------|-------------------------------|
+ * | create_mthread           | createMthread                 |
+ * | wait (CPU)               | cpuWaitAll                    |
+ * | signal (CPU)             | cpuSignalAll                  |
+ * | cpu_mttop_barrier (CPU)  | cpuBarrier                    |
+ * | wait/signal (MTTOP)      | mttopWait / mttopSignal       |
+ * | cpu_mttop_barrier (MTTOP)| mttopBarrier                  |
+ * | mttop_malloc             | mttopMalloc + cpuMallocServer |
+ */
+
+#ifndef CCSVM_RUNTIME_XTHREADS_HH
+#define CCSVM_RUNTIME_XTHREADS_HH
+
+#include "core/thread_context.hh"
+#include "runtime/process.hh"
+#include "sim/guest_task.hh"
+
+namespace ccsvm::xthreads
+{
+
+using core::KernelFn;
+using core::ThreadContext;
+using sim::GuestTask;
+using vm::VAddr;
+
+/** Condition-variable states (stored as u32 in guest memory). */
+enum CondValue : std::uint32_t
+{
+    condIdle = 0,
+    condReady = 1,
+    condWaitingOnMttop = 2,
+    condWaitingOnCpu = 3,
+};
+
+/** Spin backoff granularity, in guest instructions per poll. */
+inline constexpr std::uint64_t spinBackoffCpu = 60;
+inline constexpr std::uint64_t spinBackoffMttop = 30;
+
+/** Byte address of thread @p tid's slot in a cond-var array. */
+constexpr VAddr
+condSlot(VAddr array, ThreadId tid)
+{
+    return array + static_cast<VAddr>(tid) * 4;
+}
+
+// --- CPU-side API ----------------------------------------------------
+
+/**
+ * Spawn MTTOP threads [first, last] running @p fn(args) — the paper's
+ * create_mthread. Performs the write syscall to the MIFD; returns when
+ * the syscall returns (the task runs asynchronously).
+ */
+GuestTask createMthread(ThreadContext &ctx, KernelFn fn, VAddr args,
+                        ThreadId first, ThreadId last,
+                        bool require_all = true);
+
+/**
+ * CPU wait: marks each slot WaitingOnMTTOP (unless already Ready) and
+ * spins until all slots in [first, last] are Ready; each consumed
+ * slot is reset to Idle.
+ */
+GuestTask cpuWaitAll(ThreadContext &ctx, VAddr cond_array,
+                     ThreadId first, ThreadId last);
+
+/** CPU signal: set slots [first, last] to Ready. */
+GuestTask cpuSignalAll(ThreadContext &ctx, VAddr cond_array,
+                       ThreadId first, ThreadId last);
+
+/**
+ * CPU side of the global CPU+MTTOP barrier: wait for every MTTOP
+ * thread's flag, clear the flags, then flip the sense word to
+ * @p next_sense releasing the MTTOP threads.
+ */
+GuestTask cpuBarrier(ThreadContext &ctx, VAddr barrier_array,
+                     VAddr sense_va, ThreadId first, ThreadId last,
+                     std::uint32_t next_sense);
+
+/**
+ * CPU malloc service loop (the paper's mttop_malloc host half): scan
+ * the request boxes of threads [first, last]; serve size requests via
+ * the process allocator. Exits once @p stop_va is non-zero and no
+ * request is pending.
+ */
+GuestTask cpuMallocServer(ThreadContext &ctx, VAddr box_array,
+                          ThreadId first, ThreadId last,
+                          VAddr stop_va);
+
+/**
+ * The paper's wait() with waitCondition = malloc requests: wait until
+ * every done slot in [first, last] is Ready while serving
+ * mttop_malloc requests from the same threads; consumes the done
+ * slots before returning.
+ */
+GuestTask cpuMallocServerUntilDone(ThreadContext &ctx,
+                                   VAddr box_array, ThreadId first,
+                                   ThreadId last, VAddr done_array);
+
+// --- MTTOP-side API --------------------------------------------------
+
+/** MTTOP wait: mark own slot WaitingOnCPU and spin until Ready;
+ * consumes the slot (resets to Idle). */
+GuestTask mttopWait(ThreadContext &ctx, VAddr cond_array);
+
+/** MTTOP signal: set own slot to Ready. */
+GuestTask mttopSignal(ThreadContext &ctx, VAddr cond_array);
+
+/** MTTOP side of the global barrier: raise own flag, spin until the
+ * sense word equals @p expected_sense. */
+GuestTask mttopBarrier(ThreadContext &ctx, VAddr barrier_array,
+                       VAddr sense_va, std::uint32_t expected_sense);
+
+/**
+ * Dynamically allocate @p size bytes from an MTTOP thread by
+ * requesting service from the CPU malloc server (16-byte request box
+ * per thread at box_array). The pointer lands in @p out.
+ */
+GuestTask mttopMalloc(ThreadContext &ctx, VAddr box_array,
+                      std::uint64_t size, VAddr &out);
+
+/** Byte address of thread @p tid's malloc request box. */
+constexpr VAddr
+mallocBox(VAddr box_array, ThreadId tid)
+{
+    return box_array + static_cast<VAddr>(tid) * 16;
+}
+
+} // namespace ccsvm::xthreads
+
+#endif // CCSVM_RUNTIME_XTHREADS_HH

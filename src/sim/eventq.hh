@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue orders all simulated work for one machine. Ticks
+ * are picoseconds; events at equal ticks are ordered by (priority,
+ * insertion sequence) so simulations are fully deterministic.
+ */
+
+#ifndef CCSVM_SIM_EVENTQ_HH
+#define CCSVM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace ccsvm::sim
+{
+
+/** Default event priorities; lower values run first within a tick. */
+enum : int
+{
+    prioNetwork = -10,
+    prioDefault = 0,
+    prioCpu = 10,
+    prioStats = 100,
+};
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Events are arbitrary callables. The queue is not thread safe; a
+ * machine is simulated on a single host thread.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    static constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Total events executed so far (for progress/perf reporting). */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb, int priority = prioDefault)
+    {
+        ccsvm_assert(when >= now_,
+                     "scheduling in the past: when=%llu now=%llu",
+                     (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Entry{when, priority, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = prioDefault)
+    {
+        schedule(now_ + delta, std::move(cb), priority);
+    }
+
+    /**
+     * Pop and run the earliest event.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the callback out before popping: running it may push.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p limit.
+     * @return the final simulated time.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            runOne();
+        return now_;
+    }
+
+    /**
+     * Run until @p done returns true (checked after every event) or the
+     * queue drains.
+     * @return true iff the predicate was satisfied.
+     */
+    bool
+    runUntil(const std::function<bool()> &done, Tick limit = maxTick)
+    {
+        if (done())
+            return true;
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            runOne();
+            if (done())
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace ccsvm::sim
+
+#endif // CCSVM_SIM_EVENTQ_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Coroutine task type for guest (simulated) code.
+ *
+ * Guest kernels — the programs that would be compiled for the CPU or
+ * MTTOP ISAs on real hardware — are written as C++20 coroutines that
+ * co_await guest operations (loads, stores, atomics, compute, syscalls)
+ * on a ThreadContext. GuestTask is their return type; it supports
+ * nested calls (and therefore recursion, which the Barnes-Hut workload
+ * relies on) via continuation chaining with symmetric transfer.
+ */
+
+#ifndef CCSVM_SIM_GUEST_TASK_HH
+#define CCSVM_SIM_GUEST_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ccsvm::sim
+{
+
+/**
+ * Lazily-started coroutine representing guest control flow.
+ *
+ * A root GuestTask is owned by a ThreadContext and resumed by a core
+ * model; nested tasks are owned by their parent frames and resumed via
+ * symmetric transfer when awaited.
+ */
+class [[nodiscard]] GuestTask
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation = nullptr;
+        std::exception_ptr exception = nullptr;
+
+        GuestTask
+        get_return_object()
+        {
+            return GuestTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    GuestTask() = default;
+    explicit GuestTask(Handle h) : handle_(h) {}
+
+    GuestTask(GuestTask &&o) noexcept
+        : handle_(std::exchange(o.handle_, nullptr))
+    {}
+
+    GuestTask &
+    operator=(GuestTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    GuestTask(const GuestTask &) = delete;
+    GuestTask &operator=(const GuestTask &) = delete;
+
+    ~GuestTask() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /**
+     * Start or continue executing this task on the current host stack.
+     * Used by core models on root tasks only; nested tasks are resumed
+     * through their awaiters.
+     */
+    void
+    resume()
+    {
+        ccsvm_assert(handle_ && !handle_.done(),
+                     "resuming an invalid or finished guest task");
+        handle_.resume();
+    }
+
+    /** Rethrow any exception that escaped the guest coroutine. */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    /** Awaiting a nested task starts it via symmetric transfer. */
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            Handle child;
+
+            bool
+            await_ready() const noexcept
+            {
+                return !child || child.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                child.promise().continuation = parent;
+                return child;
+            }
+
+            void
+            await_resume() const
+            {
+                if (child && child.promise().exception)
+                    std::rethrow_exception(child.promise().exception);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_;
+};
+
+} // namespace ccsvm::sim
+
+#endif // CCSVM_SIM_GUEST_TASK_HH

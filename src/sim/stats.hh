@@ -1,0 +1,184 @@
+/**
+ * @file
+ * A small statistics package: named counters and distributions owned by
+ * a per-machine registry, dumpable as text and queryable by benches.
+ */
+
+#ifndef CCSVM_SIM_STATS_HH
+#define CCSVM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace ccsvm::sim
+{
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/** Running distribution: count, min, max, mean. */
+class Distribution
+{
+  public:
+    Distribution(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void
+    record(double x)
+    {
+        ++count_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = 1e300;
+        max_ = -1e300;
+    }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * Owns all statistics for one simulated machine. Components request
+ * counters by hierarchical dotted name (e.g. "dram.reads"); requesting
+ * an existing name returns the existing stat so multiple components can
+ * share an aggregate.
+ */
+class StatRegistry
+{
+  public:
+    Counter &
+    counter(const std::string &name, const std::string &desc = "")
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end()) {
+            it = counters_
+                     .emplace(name,
+                              std::make_unique<Counter>(name, desc))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    Distribution &
+    distribution(const std::string &name, const std::string &desc = "")
+    {
+        auto it = dists_.find(name);
+        if (it == dists_.end()) {
+            it = dists_
+                     .emplace(name,
+                              std::make_unique<Distribution>(name, desc))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** Value of a counter, or 0 if it was never created. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second->value();
+    }
+
+    bool
+    hasCounter(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    /** Sum of all counters whose names start with @p prefix. */
+    std::uint64_t
+    sumMatching(const std::string &prefix) const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[name, c] : counters_) {
+            if (name.rfind(prefix, 0) == 0)
+                total += c->value();
+        }
+        return total;
+    }
+
+    void
+    resetAll()
+    {
+        for (auto &[name, c] : counters_)
+            c->reset();
+        for (auto &[name, d] : dists_)
+            d->reset();
+    }
+
+    /** Text dump in name order, gem5 stats.txt style. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, c] : counters_) {
+            os << name << " " << c->value();
+            if (!c->desc().empty())
+                os << "   # " << c->desc();
+            os << "\n";
+        }
+        for (const auto &[name, d] : dists_) {
+            os << name << "::count " << d->count() << "\n"
+               << name << "::mean " << d->mean() << "\n"
+               << name << "::min " << d->minValue() << "\n"
+               << name << "::max " << d->maxValue() << "\n";
+        }
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Distribution>> dists_;
+};
+
+} // namespace ccsvm::sim
+
+#endif // CCSVM_SIM_STATS_HH

@@ -1,0 +1,224 @@
+#include "system/ccsvm_machine.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace ccsvm::system
+{
+
+CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
+    : cfg_(std::move(cfg)), phys_(cfg_.physMemBytes)
+{
+    dram_ = std::make_unique<mem::DramCtrl>(eq_, stats_, "dram",
+                                            cfg_.dram);
+
+    // Auto-size the torus to hold all endpoints if the configured grid
+    // is too small: CPUs + MTTOPs + L2 banks + MIFD.
+    const int endpoints = cfg_.numCpuCores + cfg_.numMttopCores +
+                          cfg_.numL2Banks + 1;
+    if (cfg_.noc.width * cfg_.noc.height < endpoints) {
+        cfg_.noc.width = static_cast<int>(
+            std::ceil(std::sqrt(static_cast<double>(endpoints))));
+        cfg_.noc.height =
+            (endpoints + cfg_.noc.width - 1) / cfg_.noc.width;
+    }
+    net_ = std::make_unique<noc::TorusNetwork>(eq_, stats_, "noc",
+                                               cfg_.noc);
+
+    if (cfg_.swmrChecks)
+        monitor_ = std::make_unique<coherence::SwmrMonitor>();
+
+    kernel_ = std::make_unique<vm::Kernel>(
+        eq_, stats_, phys_, cfg_.kernel, cfg_.framePoolBase,
+        cfg_.physMemBytes - cfg_.framePoolBase);
+
+    buildNodes();
+}
+
+CcsvmMachine::~CcsvmMachine() = default;
+
+void
+CcsvmMachine::buildNodes()
+{
+    const int num_l1s = cfg_.numCpuCores + cfg_.numMttopCores;
+    const noc::NodeId first_bank_node = num_l1s;
+    const noc::NodeId mifd_node = num_l1s + cfg_.numL2Banks;
+
+    // L1 controllers: CPUs first, then MTTOPs; L1Id == node id.
+    for (int i = 0; i < cfg_.numCpuCores; ++i) {
+        l1s_.push_back(std::make_unique<coherence::L1Controller>(
+            eq_, stats_, "cpu" + std::to_string(i) + ".l1",
+            cfg_.cpuL1, i, *net_, i, monitor_.get()));
+    }
+    for (int j = 0; j < cfg_.numMttopCores; ++j) {
+        const int id = cfg_.numCpuCores + j;
+        l1s_.push_back(std::make_unique<coherence::L1Controller>(
+            eq_, stats_, "mttop" + std::to_string(j) + ".l1",
+            cfg_.mttopL1, id, *net_, id, monitor_.get()));
+    }
+
+    for (int b = 0; b < cfg_.numL2Banks; ++b) {
+        banks_.push_back(std::make_unique<coherence::Directory>(
+            eq_, stats_, "dir" + std::to_string(b), cfg_.l2, b,
+            cfg_.numL2Banks, *net_, first_bank_node + b, *dram_,
+            phys_));
+    }
+
+    // Wire the protocol.
+    std::vector<coherence::L1Ref> l1refs;
+    for (int i = 0; i < num_l1s; ++i)
+        l1refs.push_back({l1s_[i].get(), i});
+    std::vector<coherence::DirRef> dirrefs;
+    for (int b = 0; b < cfg_.numL2Banks; ++b)
+        dirrefs.push_back({banks_[b].get(), first_bank_node + b});
+    for (auto &l1 : l1s_) {
+        l1->connectDirectories(dirrefs);
+        l1->connectPeers(l1refs);
+    }
+    for (auto &bank : banks_)
+        bank->connectL1s(l1refs);
+
+    // Per-core walkers (sharing the PTE-lines-in-L2 model) and cores.
+    pteFilter_ = std::make_unique<vm::PteLineFilter>();
+    for (int i = 0; i < cfg_.numCpuCores; ++i) {
+        walkers_.push_back(std::make_unique<vm::Walker>(
+            eq_, stats_, "cpu" + std::to_string(i) + ".walker",
+            cfg_.walker, *dram_, pteFilter_.get()));
+        cpuCores_.push_back(std::make_unique<core::CpuCore>(
+            eq_, stats_, "cpu" + std::to_string(i), cfg_.cpu,
+            *l1s_[i], *walkers_.back(), *kernel_, *net_, i));
+    }
+    for (int j = 0; j < cfg_.numMttopCores; ++j) {
+        walkers_.push_back(std::make_unique<vm::Walker>(
+            eq_, stats_, "mttop" + std::to_string(j) + ".walker",
+            cfg_.walker, *dram_, pteFilter_.get()));
+        mttopCores_.push_back(std::make_unique<core::MttopCore>(
+            eq_, stats_, "mttop" + std::to_string(j), cfg_.mttop,
+            *l1s_[cfg_.numCpuCores + j], *walkers_.back(), *kernel_));
+    }
+
+    // The MIFD.
+    mifd_ = std::make_unique<dev::Mifd>(eq_, stats_, cfg_.mifd,
+                                        *kernel_, *net_, mifd_node);
+    std::vector<dev::MttopPort> mttop_ports;
+    for (int j = 0; j < cfg_.numMttopCores; ++j) {
+        mttop_ports.push_back(
+            {mttopCores_[j].get(),
+             static_cast<noc::NodeId>(cfg_.numCpuCores + j)});
+    }
+    mifd_->connectMttops(std::move(mttop_ports));
+    for (auto &cpu : cpuCores_)
+        cpu->connectMifd({mifd_.get(), mifd_node});
+}
+
+runtime::Process &
+CcsvmMachine::createProcess()
+{
+    processes_.push_back(std::make_unique<runtime::Process>(
+        static_cast<int>(processes_.size()), *kernel_, *this));
+    return *processes_.back();
+}
+
+void
+CcsvmMachine::spawnCpuThread(int cpu_idx, runtime::Process &proc,
+                             core::KernelFn fn, vm::VAddr args,
+                             std::function<void()> on_done)
+{
+    ccsvm_assert(cpu_idx >= 0 && cpu_idx < cfg_.numCpuCores,
+                 "bad CPU index %d", cpu_idx);
+    auto thread = std::make_unique<CpuThread>();
+    thread->fn = std::move(fn);
+    core::ThreadContext &ref = thread->tc;
+    const core::KernelFn &stored_fn = thread->fn;
+    cpuThreads_.push_back(std::move(thread));
+    ref.bind(proc.allocTid(), &proc, cpuCores_[cpu_idx].get());
+    cpuCores_[cpu_idx]->runThread(ref, stored_fn(ref, args),
+                                  std::move(on_done));
+}
+
+Tick
+CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
+                      vm::VAddr args)
+{
+    const Tick start = eq_.now();
+    bool done = false;
+    spawnCpuThread(0, proc, std::move(fn), args, [&] { done = true; });
+    const bool finished = eq_.runUntil([&] { return done; });
+    ccsvm_assert(finished, "guest main never exited (deadlock?)");
+    return eq_.now() - start;
+}
+
+void
+CcsvmMachine::run(Tick limit)
+{
+    eq_.run(limit);
+}
+
+std::uint64_t
+CcsvmMachine::dramAccesses() const
+{
+    return dram_->reads() + dram_->writes();
+}
+
+void
+CcsvmMachine::funcRead(Addr pa, void *dst, unsigned len)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const Addr block = mem::blockAlign(pa);
+        const unsigned off = static_cast<unsigned>(pa - block);
+        const unsigned chunk =
+            std::min<unsigned>(len, mem::blockBytes - off);
+
+        std::uint8_t buf[mem::blockBytes];
+        bool found = false;
+        // A dirty owner (E/M/O at some L1) is authoritative...
+        for (auto &l1 : l1s_) {
+            if (l1->funcReadBlock(block, buf)) {
+                found = true;
+                break;
+            }
+        }
+        // ...then the L2 copy...
+        if (!found) {
+            auto &bank =
+                banks_[(block >> mem::blockShift) % banks_.size()];
+            found = bank->funcReadBlock(block, buf);
+        }
+        // ...then physical memory.
+        if (!found)
+            phys_.readBlock(block, buf);
+
+        std::memcpy(out, buf + off, chunk);
+        pa += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+CcsvmMachine::funcWrite(Addr pa, const void *src, unsigned len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const Addr block = mem::blockAlign(pa);
+        const unsigned off = static_cast<unsigned>(pa - block);
+        const unsigned chunk =
+            std::min<unsigned>(len, mem::blockBytes - off);
+
+        // Write through every copy so no cache holds stale data.
+        phys_.write(pa, in, chunk);
+        for (auto &l1 : l1s_)
+            l1->funcWriteBlock(block, off, in, chunk);
+        banks_[(block >> mem::blockShift) % banks_.size()]
+            ->funcWriteBlock(block, off, in, chunk);
+
+        pa += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace ccsvm::system

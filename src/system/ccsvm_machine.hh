@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The CCSVM heterogeneous multicore chip: the paper's Figure 1 system,
+ * assembled from Table 2's parameters.
+ *
+ * 4 in-order CPU cores (2.9 GHz, IPC 0.5) + 10 MTTOP cores (600 MHz,
+ * 128 threads each, 8 ops/cycle) + 4 banked inclusive-L2/directory
+ * slices + the MIFD, all on a 2D torus with 12 GB/s links; one MOESI
+ * protocol spans every core, one virtual address space per process
+ * spans CPU and MTTOP threads, and the whole chip is sequentially
+ * consistent (no write buffers, one memory op per thread).
+ */
+
+#ifndef CCSVM_SYSTEM_CCSVM_MACHINE_HH
+#define CCSVM_SYSTEM_CCSVM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/l1_cache.hh"
+#include "coherence/monitor.hh"
+#include "core/cpu_core.hh"
+#include "core/mttop_core.hh"
+#include "dev/mifd.hh"
+#include "mem/dram.hh"
+#include "mem/phys_mem.hh"
+#include "noc/torus.hh"
+#include "runtime/functional_mem.hh"
+#include "runtime/process.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+#include "vm/kernel.hh"
+#include "vm/walker.hh"
+
+namespace ccsvm::system
+{
+
+/** Full chip configuration (defaults = paper Table 2). */
+struct CcsvmConfig
+{
+    int numCpuCores = 4;
+    int numMttopCores = 10;
+    int numL2Banks = 4;
+
+    core::CpuCoreConfig cpu;
+    core::MttopCoreConfig mttop;
+
+    coherence::L1Config cpuL1{64 * 1024, 4, 690, 8};
+    coherence::L1Config mttopL1{16 * 1024, 4, 1667, 16};
+    coherence::DirConfig l2; ///< 4 x 1 MB banks
+
+    mem::DramConfig dram;    ///< 100 ns
+    noc::TorusConfig noc;    ///< computed from core counts if 0x0
+    vm::WalkerConfig walker;
+    vm::KernelConfig kernel;
+    dev::MifdConfig mifd;
+
+    Addr physMemBytes = 2ull * 1024 * 1024 * 1024;
+    /** Frames below this are reserved (device/kernel image). */
+    Addr framePoolBase = 16 * 1024 * 1024;
+
+    /** Enable the SWMR monitor (tests; small host-time cost). */
+    bool swmrChecks = true;
+};
+
+/** The simulated CCSVM chip. */
+class CcsvmMachine : public runtime::FunctionalMem
+{
+  public:
+    explicit CcsvmMachine(CcsvmConfig cfg = {});
+    ~CcsvmMachine() override;
+
+    // --- public API for workloads and examples ----------------------
+
+    /** Create a guest process (address space + heap). */
+    runtime::Process &createProcess();
+
+    /**
+     * Start a guest thread on CPU core @p cpu_idx.
+     * @param on_done host callback at thread exit
+     */
+    void spawnCpuThread(int cpu_idx, runtime::Process &proc,
+                        core::KernelFn fn, vm::VAddr args,
+                        std::function<void()> on_done = {});
+
+    /**
+     * Convenience: run @p fn as the process's main thread on CPU 0
+     * and simulate until it exits.
+     * @return simulated ticks consumed
+     */
+    Tick runMain(runtime::Process &proc, core::KernelFn fn,
+                 vm::VAddr args = 0);
+
+    /** Run the event loop until fully idle (or @p limit). */
+    void run(Tick limit = sim::EventQueue::maxTick);
+
+    Tick now() const { return eq_.now(); }
+    sim::EventQueue &eventq() { return eq_; }
+    sim::StatRegistry &stats() { return stats_; }
+    mem::PhysMem &physMem() { return phys_; }
+    vm::Kernel &kernel() { return *kernel_; }
+    dev::Mifd &mifd() { return *mifd_; }
+
+    int numCpuCores() const { return cfg_.numCpuCores; }
+    int numMttopCores() const { return cfg_.numMttopCores; }
+    core::CpuCore &cpuCore(int i) { return *cpuCores_[i]; }
+    core::MttopCore &mttopCore(int i) { return *mttopCores_[i]; }
+
+    /** Off-chip DRAM transactions so far (Figure 9's metric). */
+    std::uint64_t dramAccesses() const;
+
+    /** Text dump of every statistic (gem5 stats.txt style). */
+    void dumpStats(std::ostream &os) const { stats_.dump(os); }
+
+    // FunctionalMem.
+    void funcRead(Addr pa, void *dst, unsigned len) override;
+    void funcWrite(Addr pa, const void *src, unsigned len) override;
+
+  private:
+    void buildNodes();
+
+    CcsvmConfig cfg_;
+    sim::EventQueue eq_;
+    sim::StatRegistry stats_;
+    mem::PhysMem phys_;
+
+    std::unique_ptr<mem::DramCtrl> dram_;
+    std::unique_ptr<noc::TorusNetwork> net_;
+    std::unique_ptr<coherence::SwmrMonitor> monitor_;
+    std::unique_ptr<vm::Kernel> kernel_;
+
+    std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;
+    std::vector<std::unique_ptr<coherence::Directory>> banks_;
+    std::unique_ptr<vm::PteLineFilter> pteFilter_;
+    std::vector<std::unique_ptr<vm::Walker>> walkers_;
+    std::vector<std::unique_ptr<core::CpuCore>> cpuCores_;
+    std::vector<std::unique_ptr<core::MttopCore>> mttopCores_;
+    std::unique_ptr<dev::Mifd> mifd_;
+
+    /** A CPU thread: context plus its kernel function. The function
+     * object must outlive the coroutine — coroutine frames reference
+     * the lambda's captures rather than copying them. */
+    struct CpuThread
+    {
+        core::ThreadContext tc;
+        core::KernelFn fn;
+    };
+
+    std::vector<std::unique_ptr<runtime::Process>> processes_;
+    std::vector<std::unique_ptr<CpuThread>> cpuThreads_;
+};
+
+} // namespace ccsvm::system
+
+#endif // CCSVM_SYSTEM_CCSVM_MACHINE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Translation lookaside buffer: 64-entry, fully associative, true LRU
+ * (Table 2, for both CPU and MTTOP cores).
+ *
+ * TLB coherence follows the paper's conservative choice (Sec. 3.2.1):
+ * CPU-initiated shootdowns flush MTTOP TLBs entirely; CPU TLBs
+ * invalidate the affected translation.
+ */
+
+#ifndef CCSVM_VM_TLB_HH
+#define CCSVM_VM_TLB_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "base/types.hh"
+#include "mem/phys_mem.hh"
+#include "sim/stats.hh"
+#include "vm/page_table.hh"
+
+namespace ccsvm::vm
+{
+
+/** One core-private TLB. */
+class Tlb
+{
+  public:
+    Tlb(sim::StatRegistry &stats, const std::string &name,
+        unsigned entries = 64)
+        : entries_(entries),
+          hits_(stats.counter(name + ".hits", "TLB hits")),
+          misses_(stats.counter(name + ".misses", "TLB misses")),
+          flushes_(stats.counter(name + ".flushes",
+                                 "whole-TLB flushes"))
+    {}
+
+    /**
+     * Look up the translation for @p va.
+     * @return true and set @p frame on a hit.
+     */
+    bool
+    lookup(VAddr va, Addr &frame, bool &writable)
+    {
+        const VAddr vpn = va >> mem::pageShift;
+        auto it = map_.find(vpn);
+        if (it == map_.end()) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        it->second.lastUse = ++useClock_;
+        frame = it->second.frame;
+        writable = it->second.writable;
+        return true;
+    }
+
+    /** Install a translation, evicting LRU if full. */
+    void
+    insert(VAddr va, Addr frame, bool writable)
+    {
+        const VAddr vpn = va >> mem::pageShift;
+        if (map_.size() >= entries_ && map_.find(vpn) == map_.end()) {
+            // Evict the least recently used entry.
+            auto lru = map_.begin();
+            for (auto it = map_.begin(); it != map_.end(); ++it) {
+                if (it->second.lastUse < lru->second.lastUse)
+                    lru = it;
+            }
+            map_.erase(lru);
+        }
+        map_[vpn] = Entry{frame, writable, ++useClock_};
+    }
+
+    /** Invalidate one translation (x86 invlpg). */
+    void
+    invalidate(VAddr va)
+    {
+        map_.erase(va >> mem::pageShift);
+    }
+
+    /** Flush everything (MTTOP shootdown policy; CR3 switch). */
+    void
+    flushAll()
+    {
+        ++flushes_;
+        map_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr frame = 0;
+        bool writable = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned entries_;
+    std::unordered_map<VAddr, Entry> map_;
+    std::uint64_t useClock_ = 0;
+
+    sim::Counter &hits_;
+    sim::Counter &misses_;
+    sim::Counter &flushes_;
+};
+
+} // namespace ccsvm::vm
+
+#endif // CCSVM_VM_TLB_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The paper's evaluation workloads (Sec. 5), each implemented for
+ * every system the paper measures:
+ *
+ * - dense matrix multiply (Fig. 5, Fig. 9): CCSVM/xthreads,
+ *   APU/OpenCL (with and without init+JIT), single AMD CPU core
+ * - all-pairs shortest path / Floyd-Warshall (Fig. 6): barrier per
+ *   outer iteration; same three systems
+ * - Barnes-Hut n-body (Fig. 7): pointer-based recursive quadtree,
+ *   frequent sequential<->parallel toggling; CCSVM/xthreads vs one
+ *   CPU core vs pthreads on the APU's 4 CPU cores (the paper found
+ *   no OpenCL version to compare against, and so do we)
+ * - sparse matrix multiply (Fig. 8): linked-list rows, result built
+ *   with mttop_malloc; CCSVM/xthreads vs one CPU core
+ *
+ * Every runner builds a fresh machine, runs the workload as guest
+ * code, validates results against a host golden model, and reports
+ * the measured region's time and off-chip DRAM transactions.
+ */
+
+#ifndef CCSVM_WORKLOADS_WORKLOADS_HH
+#define CCSVM_WORKLOADS_WORKLOADS_HH
+
+#include "apu/apu_machine.hh"
+#include "apu/ocl.hh"
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::workloads
+{
+
+/** Outcome of one workload run. */
+struct RunResult
+{
+    /** Measured region, ticks (ps). For OpenCL runs this includes
+     * platform init + JIT compilation (the paper's "full runtime"). */
+    Tick ticks = 0;
+    /** OpenCL: measured region minus init+JIT (the paper's "runtime
+     * without compilation and without OpenCL initialization");
+     * equals ticks for other systems. */
+    Tick ticksNoInit = 0;
+    /** Off-chip DRAM transactions in the measured region (Fig. 9). */
+    std::uint64_t dramAccesses = 0;
+    /** Output matched the host golden model. */
+    bool correct = false;
+};
+
+// --- dense matrix multiply (Fig. 5 / Fig. 9) -------------------------
+
+RunResult matmulXthreads(unsigned n,
+                         system::CcsvmConfig cfg = {});
+RunResult matmulOpenCl(unsigned n, apu::ApuConfig cfg = {},
+                       apu::ocl::OclConfig ocl = {});
+RunResult matmulCpuSingle(unsigned n, apu::ApuConfig cfg = {});
+
+// --- all-pairs shortest path (Fig. 6) --------------------------------
+
+RunResult apspXthreads(unsigned n, system::CcsvmConfig cfg = {});
+RunResult apspOpenCl(unsigned n, apu::ApuConfig cfg = {},
+                     apu::ocl::OclConfig ocl = {});
+RunResult apspCpuSingle(unsigned n, apu::ApuConfig cfg = {});
+
+// --- Barnes-Hut n-body (Fig. 7) --------------------------------------
+
+struct BarnesHutParams
+{
+    unsigned bodies = 256;
+    unsigned steps = 2;
+    float theta = 0.5f; ///< opening angle
+    float dt = 0.05f;
+    std::uint64_t seed = 42;
+};
+
+RunResult barnesHutXthreads(const BarnesHutParams &p,
+                            system::CcsvmConfig cfg = {});
+RunResult barnesHutCpuSingle(const BarnesHutParams &p,
+                             apu::ApuConfig cfg = {});
+/** pthreads across the APU's 4 CPU cores (the paper's comparison). */
+RunResult barnesHutPthreads(const BarnesHutParams &p,
+                            apu::ApuConfig cfg = {});
+
+// --- sparse matrix multiply (Fig. 8) ----------------------------------
+
+struct SpmmParams
+{
+    unsigned n = 64;        ///< matrix dimension
+    double density = 0.01;  ///< non-zero fraction
+    std::uint64_t seed = 7;
+};
+
+RunResult spmmXthreads(const SpmmParams &p,
+                       system::CcsvmConfig cfg = {});
+RunResult spmmCpuSingle(const SpmmParams &p, apu::ApuConfig cfg = {});
+
+} // namespace ccsvm::workloads
+
+#endif // CCSVM_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for base utilities: integer math, RNG determinism, types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/intmath.hh"
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace ccsvm
+{
+namespace
+{
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+TEST(Types, PeriodFromMHz)
+{
+    // 1000 MHz -> 1000 ps; 2900 MHz -> ~345 ps; 600 MHz -> ~1667 ps.
+    EXPECT_EQ(periodFromMHz(1000), 1000u);
+    EXPECT_EQ(periodFromMHz(2900), 345u);
+    EXPECT_EQ(periodFromMHz(600), 1667u);
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.below(17);
+        ASSERT_LT(v, 17u);
+    }
+}
+
+TEST(Random, RealIsUnitInterval)
+{
+    Random r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double x = r.real();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    // Mean of U[0,1) over 10k draws should be close to 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+} // namespace
+} // namespace ccsvm

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Property tests for the set-associative cache array, parameterized
+ * over geometry: lookups never alias, LRU victims are correct, and a
+ * random reference trace agrees with an exhaustive model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "base/random.hh"
+#include "cache/cache_array.hh"
+
+namespace ccsvm::cache
+{
+namespace
+{
+
+struct TestLine
+{
+    Addr addr = invalidAddr;
+    bool valid = false;
+    int payload = 0;
+};
+
+struct Geometry
+{
+    Addr sizeBytes;
+    unsigned assoc;
+};
+
+class CacheArrayGeometry : public ::testing::TestWithParam<Geometry>
+{};
+
+TEST_P(CacheArrayGeometry, FillsToExactCapacity)
+{
+    const auto g = GetParam();
+    CacheArray<TestLine> arr(g.sizeBytes, g.assoc);
+    const unsigned lines =
+        static_cast<unsigned>(g.sizeBytes / mem::blockBytes);
+    // Insert exactly capacity distinct blocks: all must allocate.
+    for (unsigned i = 0; i < lines; ++i) {
+        ASSERT_NE(arr.allocate(static_cast<Addr>(i) * 64), nullptr)
+            << "line " << i;
+    }
+    EXPECT_EQ(arr.countValid(), lines);
+    // One more block in any set must fail (set full).
+    EXPECT_EQ(arr.allocate(static_cast<Addr>(lines) * 64), nullptr);
+}
+
+TEST_P(CacheArrayGeometry, LookupNeverAliases)
+{
+    const auto g = GetParam();
+    CacheArray<TestLine> arr(g.sizeBytes, g.assoc);
+    const unsigned lines =
+        static_cast<unsigned>(g.sizeBytes / mem::blockBytes);
+    for (unsigned i = 0; i < lines; ++i) {
+        TestLine *l = arr.allocate(static_cast<Addr>(i) * 64);
+        ASSERT_NE(l, nullptr);
+        l->payload = static_cast<int>(i) + 1000;
+    }
+    for (unsigned i = 0; i < lines; ++i) {
+        TestLine *l = arr.lookup(static_cast<Addr>(i) * 64);
+        ASSERT_NE(l, nullptr);
+        EXPECT_EQ(l->payload, static_cast<int>(i) + 1000);
+    }
+    // Blocks never inserted are never found.
+    for (unsigned i = lines; i < lines + 16; ++i)
+        EXPECT_EQ(arr.lookup(static_cast<Addr>(i) * 64), nullptr);
+}
+
+TEST_P(CacheArrayGeometry, RandomTraceMatchesReferenceModel)
+{
+    // Reference model: per set, an LRU list of (addr -> payload).
+    const auto g = GetParam();
+    CacheArray<TestLine> arr(g.sizeBytes, g.assoc);
+    const unsigned num_sets = arr.numSets();
+    Random rng(g.sizeBytes ^ g.assoc);
+
+    std::vector<std::list<std::pair<Addr, int>>> model(num_sets);
+    auto set_of = [&](Addr a) {
+        return (a >> mem::blockShift) & (num_sets - 1);
+    };
+
+    int next_payload = 1;
+    for (int op = 0; op < 4000; ++op) {
+        const Addr addr = rng.below(4 * g.sizeBytes) & ~Addr(63);
+        auto &mset = model[set_of(addr)];
+        auto mit = std::find_if(
+            mset.begin(), mset.end(),
+            [addr](const auto &e) { return e.first == addr; });
+
+        TestLine *line = arr.lookup(addr);
+        if (mit != mset.end()) {
+            // Model hit: the array must hit with the same payload.
+            ASSERT_NE(line, nullptr) << "op " << op;
+            ASSERT_EQ(line->payload, mit->second);
+            arr.touch(line);
+            mset.splice(mset.begin(), mset, mit); // MRU in model
+        } else {
+            ASSERT_EQ(line, nullptr) << "op " << op;
+            // Miss: evict model LRU if full, then insert.
+            if (mset.size() == g.assoc) {
+                const Addr victim_addr = mset.back().first;
+                mset.pop_back();
+                TestLine *victim = arr.findVictim(
+                    addr, [](const TestLine &) { return true; });
+                ASSERT_NE(victim, nullptr);
+                ASSERT_EQ(victim->addr, victim_addr)
+                    << "LRU victim mismatch at op " << op;
+                arr.invalidate(victim);
+            }
+            TestLine *fresh = arr.allocate(addr);
+            ASSERT_NE(fresh, nullptr);
+            fresh->payload = next_payload;
+            mset.emplace_front(addr, next_payload);
+            ++next_payload;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheArrayGeometry,
+    ::testing::Values(Geometry{512, 1},          // direct mapped
+                      Geometry{512, 4},          // tiny, 2 sets
+                      Geometry{1024, 2},
+                      Geometry{16 * 1024, 4},    // MTTOP L1 shape
+                      Geometry{64 * 1024, 4},    // CPU L1 shape
+                      Geometry{64 * 1024, 16},   // high assoc
+                      Geometry{4096, 64}),       // fully associative
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return std::to_string(info.param.sizeBytes) + "B_" +
+               std::to_string(info.param.assoc) + "way";
+    });
+
+TEST(CacheArray, VictimPredicateIsHonoured)
+{
+    CacheArray<TestLine> arr(256, 4); // one set of 4
+    for (int i = 0; i < 4; ++i)
+        arr.allocate(static_cast<Addr>(i) * 64);
+    // Exclude the two oldest lines: the victim must be line 2.
+    TestLine *v = arr.findVictim(0x1000, [](const TestLine &l) {
+        return l.addr >= 2 * 64;
+    });
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->addr, 2u * 64);
+    // Exclude everything: no victim.
+    EXPECT_EQ(arr.findVictim(0x1000,
+                             [](const TestLine &) { return false; }),
+              nullptr);
+}
+
+} // namespace
+} // namespace ccsvm::cache

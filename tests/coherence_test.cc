@@ -1,0 +1,391 @@
+/**
+ * @file
+ * MOESI directory protocol unit tests: every stable-state transition
+ * the paper's protocol needs, plus eviction, recall and upgrade paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence_harness.hh"
+
+namespace ccsvm::test
+{
+namespace
+{
+
+TEST(Coherence, ColdReadReturnsMemoryValueAndGrantsE)
+{
+    CohHarness h(2, 2);
+    h.phys.writeScalar(0x1000, 0xfeedbeef, 8);
+    EXPECT_EQ(h.load(0, 0x1000), 0xfeedbeefu);
+    // Sole cached copy: MOESI grants Exclusive.
+    EXPECT_EQ(h.stateAt(0, 0x1000), CohState::E);
+
+    h.drain(); // let the Unblock reach the directory
+    DirState st;
+    L1Id owner;
+    unsigned sharers;
+    Directory &bank = *h.banks[(0x1000 >> 6) % 2];
+    ASSERT_TRUE(bank.probe(0x1000, st, owner, sharers));
+    EXPECT_EQ(st, DirState::X);
+    EXPECT_EQ(owner, 0);
+    EXPECT_EQ(sharers, 0u);
+}
+
+TEST(Coherence, ReadHitAfterFillIsLocal)
+{
+    CohHarness h(2, 2);
+    h.load(0, 0x2000);
+    const auto misses_before = h.stats.get("l1.0.misses");
+    EXPECT_EQ(h.load(0, 0x2000), 0u);
+    EXPECT_EQ(h.stats.get("l1.0.misses"), misses_before);
+    EXPECT_GE(h.stats.get("l1.0.hits"), 1u);
+}
+
+TEST(Coherence, StoreMakesMAndReadsBack)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0x3000, 0x1234);
+    EXPECT_EQ(h.stateAt(0, 0x3000), CohState::M);
+    EXPECT_EQ(h.load(0, 0x3000), 0x1234u);
+}
+
+TEST(Coherence, SecondReaderDowngradesEOwnerToS)
+{
+    CohHarness h(2, 2);
+    h.phys.writeScalar(0x4000, 77, 8);
+    h.load(0, 0x4000);
+    EXPECT_EQ(h.stateAt(0, 0x4000), CohState::E);
+    EXPECT_EQ(h.load(1, 0x4000), 77u);
+    // Clean owner downgrades to S; both become sharers.
+    EXPECT_EQ(h.stateAt(0, 0x4000), CohState::S);
+    EXPECT_EQ(h.stateAt(1, 0x4000), CohState::S);
+
+    h.drain();
+    DirState st;
+    L1Id owner;
+    unsigned sharers;
+    ASSERT_TRUE(h.banks[0]->probe(0x4000, st, owner, sharers));
+    EXPECT_EQ(st, DirState::S);
+    EXPECT_EQ(sharers, 2u);
+}
+
+TEST(Coherence, ReaderOfDirtyBlockLeavesOwnerInO)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0x5000, 42);
+    EXPECT_EQ(h.load(1, 0x5000), 42u);
+    // MOESI: dirty owner keeps the block in Owned.
+    EXPECT_EQ(h.stateAt(0, 0x5000), CohState::O);
+    EXPECT_EQ(h.stateAt(1, 0x5000), CohState::S);
+
+    h.drain();
+    DirState st;
+    L1Id owner;
+    unsigned sharers;
+    ASSERT_TRUE(h.banks[0]->probe(0x5000, st, owner, sharers));
+    EXPECT_EQ(st, DirState::O);
+    EXPECT_EQ(owner, 0);
+    EXPECT_EQ(sharers, 1u);
+}
+
+TEST(Coherence, WriteInvalidatesAllSharers)
+{
+    CohHarness h(3, 2);
+    h.phys.writeScalar(0x6000, 5, 8);
+    h.load(0, 0x6000);
+    h.load(1, 0x6000);
+    h.load(2, 0x6000);
+    h.store(0, 0x6000, 99);
+    EXPECT_EQ(h.stateAt(0, 0x6000), CohState::M);
+    EXPECT_EQ(h.stateAt(1, 0x6000), CohState::I);
+    EXPECT_EQ(h.stateAt(2, 0x6000), CohState::I);
+    EXPECT_EQ(h.load(1, 0x6000), 99u);
+}
+
+TEST(Coherence, UpgradeFromSUsesDatalessGrant)
+{
+    CohHarness h(2, 2);
+    h.load(0, 0x7000);
+    h.load(1, 0x7000);
+    // L1 0 already has the data; the grant carries no payload.
+    const auto bytes_before = h.stats.get("noc.bytes");
+    h.store(0, 0x7000, 1);
+    const auto delta = h.stats.get("noc.bytes") - bytes_before;
+    // GetM + GrantM + Inv + InvAck + Unblock: all control-sized.
+    EXPECT_LT(delta, 5 * 72u);
+    EXPECT_EQ(h.stateAt(0, 0x7000), CohState::M);
+    EXPECT_GE(h.stats.get("l1.0.upgrades"), 1u);
+}
+
+TEST(Coherence, OwnershipTransfersOnFwdGetM)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0x8000, 10);
+    h.store(1, 0x8000, 20);
+    EXPECT_EQ(h.stateAt(0, 0x8000), CohState::I);
+    EXPECT_EQ(h.stateAt(1, 0x8000), CohState::M);
+    EXPECT_EQ(h.load(0, 0x8000), 20u);
+}
+
+TEST(Coherence, OOwnerUpgradeInvalidatesSharers)
+{
+    CohHarness h(3, 2);
+    h.store(0, 0x9000, 1);
+    h.load(1, 0x9000); // 0 -> O, 1 -> S
+    h.load(2, 0x9000); // 2 -> S
+    ASSERT_EQ(h.stateAt(0, 0x9000), CohState::O);
+    h.store(0, 0x9000, 2); // O-owner upgrade: GrantM + 2 Invs
+    EXPECT_EQ(h.stateAt(0, 0x9000), CohState::M);
+    EXPECT_EQ(h.stateAt(1, 0x9000), CohState::I);
+    EXPECT_EQ(h.stateAt(2, 0x9000), CohState::I);
+    EXPECT_EQ(h.load(1, 0x9000), 2u);
+}
+
+TEST(Coherence, SparseWriterReaderPingPong)
+{
+    CohHarness h(2, 2);
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        h.store(0, 0xa000, i);
+        EXPECT_EQ(h.load(1, 0xa000), i);
+    }
+    // Producer repeatedly upgrades from O; consumer re-fetches.
+    EXPECT_GE(h.stats.get("l1.0.fwds"), 19u);
+}
+
+TEST(Coherence, AtomicReturnsOldValue)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0xb000, 100);
+    EXPECT_EQ(h.amo(1, 0xb000, AmoOp::Add, 5), 100u);
+    EXPECT_EQ(h.load(0, 0xb000), 105u);
+}
+
+TEST(Coherence, AtomicCasSuccessAndFailure)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0xc000, 7);
+    // Failed CAS: compare 9 != 7.
+    EXPECT_EQ(h.amo(1, 0xc000, AmoOp::Cas, 9, 111), 7u);
+    EXPECT_EQ(h.load(1, 0xc000), 7u);
+    // Successful CAS.
+    EXPECT_EQ(h.amo(1, 0xc000, AmoOp::Cas, 7, 111), 7u);
+    EXPECT_EQ(h.load(0, 0xc000), 111u);
+}
+
+TEST(Coherence, AtomicIncDecExchMinMax)
+{
+    CohHarness h(1, 1);
+    h.store(0, 0xd000, 10);
+    EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Inc), 10u);
+    EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Dec), 11u);
+    EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Exch, 55), 10u);
+    EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Min, 50), 55u);
+    EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Max, 70), 50u);
+    EXPECT_EQ(h.load(0, 0xd000), 70u);
+}
+
+TEST(Coherence, InterleavedAtomicsFromAllL1sSumExactly)
+{
+    // The classic coherence smoke test: concurrent atomic increments
+    // must never lose an update. Each L1 keeps one atomic in flight.
+    constexpr int num_l1s = 4;
+    constexpr int per_l1 = 50;
+    CohHarness h(num_l1s, 2);
+    int completed = 0;
+
+    std::function<void(int, int)> kick = [&](int id, int remaining) {
+        if (remaining == 0)
+            return;
+        h.issue(id, MemRequest::Kind::Amo, 0xe000, 0,
+                [&, id, remaining](std::uint64_t) {
+                    ++completed;
+                    kick(id, remaining - 1);
+                },
+                AmoOp::Inc);
+    };
+    for (int id = 0; id < num_l1s; ++id)
+        kick(id, per_l1);
+    h.drain();
+    EXPECT_EQ(completed, num_l1s * per_l1);
+    EXPECT_EQ(h.load(0, 0xe000),
+              static_cast<std::uint64_t>(num_l1s * per_l1));
+}
+
+TEST(Coherence, MshrCoalescesSameBlockReads)
+{
+    CohHarness h(1, 1);
+    int done = 0;
+    h.issue(0, MemRequest::Kind::Read, 0xf000, 0,
+            [&](std::uint64_t) { ++done; });
+    h.issue(0, MemRequest::Kind::Read, 0xf008, 0,
+            [&](std::uint64_t) { ++done; });
+    h.issue(0, MemRequest::Kind::Read, 0xf010, 0,
+            [&](std::uint64_t) { ++done; });
+    h.drain();
+    EXPECT_EQ(done, 3);
+    // One transaction for the whole block.
+    EXPECT_EQ(h.stats.get("dir.0.getS") + h.stats.get("dir.0.getM"),
+              1u);
+}
+
+TEST(Coherence, CoalescedStoreBehindReadUpgrades)
+{
+    CohHarness h(2, 2);
+    // Make the block shared so the GetS grants S (not E).
+    h.phys.writeScalar(0x10000, 3, 8);
+    h.load(1, 0x10000);
+    h.store(1, 0x10000, 3); // L1 1 owns it M
+    int done = 0;
+    std::uint64_t read_val = 0;
+    h.issue(0, MemRequest::Kind::Read, 0x10000, 0,
+            [&](std::uint64_t v) {
+                read_val = v;
+                ++done;
+            });
+    h.issue(0, MemRequest::Kind::Write, 0x10000, 9,
+            [&](std::uint64_t) { ++done; });
+    h.drain();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(read_val, 3u);
+    EXPECT_EQ(h.stateAt(0, 0x10000), CohState::M);
+    EXPECT_EQ(h.load(1, 0x10000), 9u);
+}
+
+TEST(Coherence, MshrOverflowQueuesAndDrains)
+{
+    L1Config cfg;
+    cfg.maxMshrs = 1;
+    CohHarness h(1, 1, cfg);
+    int done = 0;
+    for (Addr a = 0; a < 8; ++a)
+        h.issue(0, MemRequest::Kind::Read, 0x20000 + a * 64, 0,
+                [&](std::uint64_t) { ++done; });
+    h.drain();
+    EXPECT_EQ(done, 8);
+}
+
+TEST(Coherence, L1EvictionWritesBackThroughPutOwned)
+{
+    // L1 with 2 sets x 4 ways x 64B = 512B; fill one set over assoc.
+    L1Config cfg;
+    cfg.sizeBytes = 512;
+    cfg.assoc = 4;
+    CohHarness h(2, 1, cfg);
+    // Blocks mapping to set 0 of a 2-set cache: stride 128.
+    for (int i = 0; i < 6; ++i)
+        h.store(0, 0x30000 + static_cast<Addr>(i) * 128,
+                1000 + static_cast<Addr>(i));
+    h.drain();
+    EXPECT_GE(h.stats.get("l1.0.evictions"), 2u);
+    // Evicted dirty data must be recoverable from the L2 by a peer.
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(h.load(1, 0x30000 + static_cast<Addr>(i) * 128),
+                  1000u + static_cast<Addr>(i));
+    }
+}
+
+TEST(Coherence, CleanEvictionDoesNotCarryData)
+{
+    L1Config cfg;
+    cfg.sizeBytes = 512;
+    cfg.assoc = 4;
+    CohHarness h(1, 1, cfg);
+    // Read-only misses -> E fills -> clean PutOwned on eviction.
+    for (int i = 0; i < 8; ++i)
+        h.load(0, 0x40000 + static_cast<Addr>(i) * 128);
+    h.drain();
+    EXPECT_GE(h.stats.get("l1.0.evictions"), 4u);
+    EXPECT_EQ(h.stats.get("dir.0.writebacks"), 0u);
+}
+
+TEST(Coherence, InclusiveL2EvictionRecallsL1Copies)
+{
+    // Tiny L2: 2 sets x 2 ways; L1 large enough to hold everything.
+    DirConfig dcfg;
+    dcfg.bankSizeBytes = 256;
+    dcfg.assoc = 2;
+    CohHarness h(2, 1, {}, dcfg);
+    // Touch more blocks than the L2 can hold; all map through one bank.
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 8; ++i)
+        addrs.push_back(0x50000 + static_cast<Addr>(i) * 64);
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        h.store(0, addrs[i], 7000 + i);
+    h.drain();
+    EXPECT_GE(h.stats.get("dir.0.recalls"), 4u);
+    EXPECT_GE(h.stats.get("dir.0.writebacks"), 4u);
+    // Recalled dirty data must have reached DRAM and be re-fetchable.
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        EXPECT_EQ(h.load(1, addrs[i]), 7000u + i);
+}
+
+TEST(Coherence, RecallOfSharedCleanBlockNeedsNoWriteback)
+{
+    DirConfig dcfg;
+    dcfg.bankSizeBytes = 256;
+    dcfg.assoc = 2;
+    CohHarness h(2, 1, {}, dcfg);
+    h.phys.writeScalar(0x60000, 11, 8);
+    h.load(0, 0x60000);
+    h.load(1, 0x60000); // shared clean
+    const auto wb_before = h.stats.get("dir.0.writebacks");
+    // Evict the L2 set by touching conflicting blocks.
+    for (int i = 1; i <= 4; ++i)
+        h.load(0, 0x60000 + static_cast<Addr>(i) * 128);
+    h.drain();
+    EXPECT_EQ(h.stats.get("dir.0.writebacks"), wb_before);
+    // Both L1 copies must have been recalled (inclusive L2).
+    EXPECT_EQ(h.stateAt(0, 0x60000), CohState::I);
+    EXPECT_EQ(h.stateAt(1, 0x60000), CohState::I);
+    EXPECT_EQ(h.load(1, 0x60000), 11u);
+}
+
+TEST(Coherence, DistinctBanksServeDistinctBlocks)
+{
+    CohHarness h(2, 4);
+    for (int i = 0; i < 8; ++i)
+        h.store(0, 0x70000 + static_cast<Addr>(i) * 64,
+                static_cast<Addr>(i));
+    h.drain();
+    // Each consecutive block maps to a different bank.
+    unsigned active_banks = 0;
+    for (int b = 0; b < 4; ++b) {
+        if (h.stats.get("dir." + std::to_string(b) + ".getS") +
+                h.stats.get("dir." + std::to_string(b) + ".getM") >
+            0)
+            ++active_banks;
+    }
+    EXPECT_EQ(active_banks, 4u);
+}
+
+TEST(Coherence, ByteAndWordAccessesWithinABlock)
+{
+    CohHarness h(1, 1);
+    h.store(0, 0x80000, 0x11, 1);
+    h.store(0, 0x80001, 0x22, 1);
+    h.store(0, 0x80002, 0x3344, 2);
+    h.store(0, 0x80004, 0xdeadbeef, 4);
+    EXPECT_EQ(h.load(0, 0x80000, 1), 0x11u);
+    EXPECT_EQ(h.load(0, 0x80001, 1), 0x22u);
+    EXPECT_EQ(h.load(0, 0x80002, 2), 0x3344u);
+    EXPECT_EQ(h.load(0, 0x80004, 4), 0xdeadbeefu);
+    const std::uint64_t whole = (0xdeadbeefull << 32) |
+                                (0x3344ull << 16) | (0x22ull << 8) |
+                                0x11ull;
+    EXPECT_EQ(h.load(0, 0x80000, 8), whole);
+}
+
+TEST(Coherence, MonitorSeesSingleWriter)
+{
+    CohHarness h(2, 2);
+    h.store(0, 0x90000, 1);
+    EXPECT_EQ(h.monitor.holders(0x90000), 1u);
+    h.load(1, 0x90000);
+    EXPECT_EQ(h.monitor.holders(0x90000), 2u);
+    h.store(1, 0x90000, 2);
+    EXPECT_EQ(h.monitor.holders(0x90000), 1u);
+}
+
+} // namespace
+} // namespace ccsvm::test

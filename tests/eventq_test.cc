@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the event queue and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/eventq.hh"
+
+namespace ccsvm::sim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSeq)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, 0);
+    eq.schedule(5, [&] { order.push_back(1); }, -1);
+    eq.schedule(5, [&] { order.push_back(3); }, 0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_EQ(eq.eventsExecuted(), 3u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int x = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [&] { ++x; });
+    bool ok = eq.runUntil([&] { return x == 4; });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(eq.now(), 4u);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilReturnsFalseWhenDrained)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    bool ok = eq.runUntil([] { return false; });
+    EXPECT_FALSE(ok);
+}
+
+TEST(ClockDomain, EdgeAlignment)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, 345); // 2.9 GHz CPU clock
+    // At time 0, the aligned edge is 0.
+    EXPECT_EQ(clk.clockEdge(), 0u);
+    eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_EQ(clk.clockEdge(), 345u);
+    EXPECT_EQ(clk.clockEdge(2), 345u + 2 * 345u);
+}
+
+TEST(ClockDomain, Conversions)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, 1667); // 600 MHz MTTOP clock
+    EXPECT_EQ(clk.cyclesToTicks(3), 5001u);
+    EXPECT_EQ(clk.ticksToCycles(1667), 1u);
+    EXPECT_EQ(clk.ticksToCycles(1668), 2u);
+}
+
+TEST(ClockDomain, MixedDomainsInterleave)
+{
+    EventQueue eq;
+    ClockDomain cpu(eq, 345);
+    ClockDomain mttop(eq, 1667);
+    std::vector<char> order;
+    // One CPU event per CPU cycle and one MTTOP event per MTTOP cycle;
+    // the CPU must fire ~4.8x as often.
+    for (Cycles c = 1; c <= 48; ++c)
+        eq.schedule(cpu.cyclesToTicks(c), [&] { order.push_back('c'); });
+    for (Cycles c = 1; c <= 10; ++c)
+        eq.schedule(mttop.cyclesToTicks(c),
+                    [&] { order.push_back('m'); });
+    eq.run();
+    EXPECT_EQ(std::count(order.begin(), order.end(), 'c'), 48);
+    EXPECT_EQ(std::count(order.begin(), order.end(), 'm'), 10);
+    // The last event overall is the 10th MTTOP tick (16670 > 16560).
+    EXPECT_EQ(order.back(), 'm');
+}
+
+} // namespace
+} // namespace ccsvm::sim

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the guest coroutine task type: sequencing, nesting,
+ * recursion, and interaction with a hand-rolled awaitable (modelling
+ * how core models park threads on memory operations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/guest_task.hh"
+
+namespace ccsvm::sim
+{
+namespace
+{
+
+/** Minimal awaitable that parks the coroutine until resume() is
+ * called externally — the same shape core models use. */
+struct ManualGate
+{
+    std::coroutine_handle<> waiter = nullptr;
+    int value = 0;
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            ManualGate *gate;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h) noexcept
+            {
+                gate->waiter = h;
+            }
+            int await_resume() const noexcept { return gate->value; }
+        };
+        return Awaiter{this};
+    }
+
+    void
+    fire(int v)
+    {
+        value = v;
+        auto h = waiter;
+        waiter = nullptr;
+        h.resume();
+    }
+};
+
+GuestTask
+simpleTask(std::vector<int> &log)
+{
+    log.push_back(1);
+    co_return;
+}
+
+TEST(GuestTask, LazyStart)
+{
+    std::vector<int> log;
+    GuestTask t = simpleTask(log);
+    EXPECT_TRUE(t.valid());
+    EXPECT_TRUE(log.empty()) << "coroutine must not start eagerly";
+    t.resume();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_TRUE(t.done());
+}
+
+GuestTask
+gatedTask(ManualGate &g, std::vector<int> &log)
+{
+    log.push_back(10);
+    int v = co_await g.wait();
+    log.push_back(v);
+}
+
+TEST(GuestTask, SuspendsOnAwaitableAndResumes)
+{
+    std::vector<int> log;
+    ManualGate gate;
+    GuestTask t = gatedTask(gate, log);
+    t.resume();
+    EXPECT_EQ(log, (std::vector<int>{10}));
+    EXPECT_FALSE(t.done());
+    gate.fire(77);
+    EXPECT_EQ(log, (std::vector<int>{10, 77}));
+    EXPECT_TRUE(t.done());
+}
+
+GuestTask
+childTask(ManualGate &g, std::vector<int> &log)
+{
+    log.push_back(2);
+    int v = co_await g.wait();
+    log.push_back(v);
+}
+
+GuestTask
+parentTask(ManualGate &g, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await childTask(g, log);
+    log.push_back(4);
+}
+
+TEST(GuestTask, NestedCallsChainContinuations)
+{
+    std::vector<int> log;
+    ManualGate gate;
+    GuestTask t = parentTask(gate, log);
+    t.resume();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    gate.fire(3);
+    // Resuming the child must transfer back to the parent when the
+    // child finishes.
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_TRUE(t.done());
+}
+
+GuestTask
+fib(int n, int &out)
+{
+    if (n <= 1) {
+        out = n;
+        co_return;
+    }
+    int a = 0, b = 0;
+    co_await fib(n - 1, a);
+    co_await fib(n - 2, b);
+    out = a + b;
+}
+
+TEST(GuestTask, RecursionWorks)
+{
+    int out = 0;
+    GuestTask t = fib(15, out);
+    t.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(out, 610);
+}
+
+GuestTask
+deepRecursion(int n, ManualGate &g, int &sum)
+{
+    if (n == 0) {
+        sum += co_await g.wait();
+        co_return;
+    }
+    co_await deepRecursion(n - 1, g, sum);
+    sum += 1;
+}
+
+TEST(GuestTask, SuspensionInsideDeepRecursion)
+{
+    // A suspension point buried 100 frames deep must resume the whole
+    // chain correctly — this is the Barnes-Hut tree-walk pattern.
+    ManualGate gate;
+    int sum = 0;
+    GuestTask t = deepRecursion(100, gate, sum);
+    t.resume();
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(sum, 0);
+    gate.fire(1000);
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(sum, 1100);
+}
+
+GuestTask
+throwingChild()
+{
+    throw std::runtime_error("guest fault");
+    co_return;
+}
+
+GuestTask
+catchingParent(bool &caught)
+{
+    try {
+        co_await throwingChild();
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+}
+
+TEST(GuestTask, ExceptionsPropagateToAwaiter)
+{
+    bool caught = false;
+    GuestTask t = catchingParent(caught);
+    t.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(caught);
+}
+
+TEST(GuestTask, RethrowIfFailedOnRoot)
+{
+    GuestTask t = throwingChild();
+    t.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+GuestTask
+eventDrivenTask(EventQueue &eq, ManualGate &g, std::vector<Tick> &at)
+{
+    at.push_back(eq.now());
+    (void)co_await g.wait();
+    at.push_back(eq.now());
+    (void)co_await g.wait();
+    at.push_back(eq.now());
+}
+
+TEST(GuestTask, DrivenByEventQueue)
+{
+    // Resume the coroutine from scheduled events, as core models do.
+    EventQueue eq;
+    ManualGate gate;
+    std::vector<Tick> at;
+    GuestTask t = eventDrivenTask(eq, gate, at);
+    eq.schedule(100, [&] { t.resume(); });
+    eq.schedule(250, [&] { gate.fire(0); });
+    eq.schedule(900, [&] { gate.fire(0); });
+    eq.run();
+    EXPECT_EQ(at, (std::vector<Tick>{100, 250, 900}));
+    EXPECT_TRUE(t.done());
+}
+
+} // namespace
+} // namespace ccsvm::sim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Focused xthreads-primitive stress tests (Table 1's API under
+ * repetition and contention — beyond the single-shot machine tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/xthreads.hh"
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::xthreads
+{
+namespace
+{
+
+using core::ThreadContext;
+using runtime::Process;
+using sim::GuestTask;
+using system::CcsvmMachine;
+using vm::VAddr;
+
+struct BarrierStressParams
+{
+    unsigned threads;
+    unsigned rounds;
+};
+
+class BarrierStress
+    : public ::testing::TestWithParam<BarrierStressParams>
+{};
+
+TEST_P(BarrierStress, ManyRoundsNeverLoseOrDuplicate)
+{
+    // Each round, every MTTOP thread increments a per-round counter
+    // exactly once between two global barriers; the CPU validates
+    // the count at every round boundary, inside the run.
+    const auto p = GetParam();
+    CcsvmMachine m;
+    Process &proc = m.createProcess();
+
+    const VAddr bar1 = proc.gmalloc(p.threads * 4);
+    const VAddr bar2 = proc.gmalloc(p.threads * 4);
+    const VAddr sense1 = proc.gmalloc(4);
+    const VAddr sense2 = proc.gmalloc(4);
+    const VAddr counter = proc.gmalloc(8);
+    const VAddr done = proc.gmalloc(p.threads * 4);
+    const VAddr errors = proc.gmalloc(8);
+    const VAddr args = proc.gmalloc(64);
+    for (unsigned t = 0; t < p.threads; ++t) {
+        proc.poke<std::uint32_t>(bar1 + t * 4, 0);
+        proc.poke<std::uint32_t>(bar2 + t * 4, 0);
+        proc.poke<std::uint32_t>(done + t * 4, 0);
+    }
+    proc.poke<std::uint32_t>(sense1, 0);
+    proc.poke<std::uint32_t>(sense2, 0);
+    proc.poke<std::uint64_t>(counter, 0);
+    proc.poke<std::uint64_t>(errors, 0);
+    proc.poke<std::uint64_t>(args + 0, bar1);
+    proc.poke<std::uint64_t>(args + 8, bar2);
+    proc.poke<std::uint64_t>(args + 16, sense1);
+    proc.poke<std::uint64_t>(args + 24, sense2);
+    proc.poke<std::uint64_t>(args + 32, counter);
+    proc.poke<std::uint64_t>(args + 40, done);
+
+    const unsigned rounds = p.rounds;
+    m.runMain(proc, [rounds, threads = p.threads, errors](
+                        ThreadContext &ctx, VAddr a) -> GuestTask {
+        const VAddr bar1_va = co_await ctx.load<std::uint64_t>(a);
+        const VAddr bar2_va =
+            co_await ctx.load<std::uint64_t>(a + 8);
+        const VAddr sense1_va =
+            co_await ctx.load<std::uint64_t>(a + 16);
+        const VAddr sense2_va =
+            co_await ctx.load<std::uint64_t>(a + 24);
+        const VAddr counter_va =
+            co_await ctx.load<std::uint64_t>(a + 32);
+        const VAddr done_va =
+            co_await ctx.load<std::uint64_t>(a + 40);
+
+        co_await createMthread(
+            ctx,
+            [rounds](ThreadContext &mt, VAddr aa) -> GuestTask {
+                const VAddr b1 =
+                    co_await mt.load<std::uint64_t>(aa);
+                const VAddr b2 =
+                    co_await mt.load<std::uint64_t>(aa + 8);
+                const VAddr s1 =
+                    co_await mt.load<std::uint64_t>(aa + 16);
+                const VAddr s2 =
+                    co_await mt.load<std::uint64_t>(aa + 24);
+                const VAddr c =
+                    co_await mt.load<std::uint64_t>(aa + 32);
+                const VAddr d =
+                    co_await mt.load<std::uint64_t>(aa + 40);
+                std::uint32_t sense = 1;
+                for (unsigned r = 0; r < rounds; ++r) {
+                    co_await mt.amo(c, coherence::AmoOp::Inc);
+                    co_await mttopBarrier(mt, b1, s1, sense);
+                    // The CPU resets the counter between barriers.
+                    co_await mttopBarrier(mt, b2, s2, sense);
+                    sense ^= 1;
+                }
+                co_await mttopSignal(mt, d);
+            },
+            a, 0, threads - 1);
+
+        std::uint32_t sense = 1;
+        for (unsigned r = 0; r < rounds; ++r) {
+            co_await cpuBarrier(ctx, bar1_va, sense1_va, 0,
+                                threads - 1, sense);
+            // All threads incremented exactly once this round.
+            const auto v =
+                co_await ctx.load<std::uint64_t>(counter_va);
+            if (v != threads) {
+                co_await ctx.amo(errors, coherence::AmoOp::Inc);
+            }
+            co_await ctx.store<std::uint64_t>(counter_va, 0);
+            co_await cpuBarrier(ctx, bar2_va, sense2_va, 0,
+                                threads - 1, sense);
+            sense ^= 1;
+        }
+        co_await cpuWaitAll(ctx, done_va, 0, threads - 1);
+    }, args);
+
+    EXPECT_EQ(proc.peek<std::uint64_t>(errors), 0u)
+        << "a barrier round saw a wrong increment count";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BarrierStress,
+    ::testing::Values(BarrierStressParams{4, 10},
+                      BarrierStressParams{16, 8},
+                      BarrierStressParams{64, 5},
+                      BarrierStressParams{160, 3}),
+    [](const ::testing::TestParamInfo<BarrierStressParams> &info) {
+        return "t" + std::to_string(info.param.threads) + "_r" +
+               std::to_string(info.param.rounds);
+    });
+
+TEST(XthreadsSignals, ReusableAfterConsume)
+{
+    // mttopWait consumes its slot, so a wait/signal pair can be
+    // reused ping-pong style many times.
+    CcsvmMachine m;
+    Process &proc = m.createProcess();
+    const VAddr cpu_to_mt = proc.gmalloc(4);
+    const VAddr mt_to_cpu = proc.gmalloc(4);
+    const VAddr trace = proc.gmalloc(8);
+    const VAddr args = proc.gmalloc(32);
+    proc.poke<std::uint32_t>(cpu_to_mt, 0);
+    proc.poke<std::uint32_t>(mt_to_cpu, 0);
+    proc.poke<std::uint64_t>(trace, 0);
+    proc.poke<std::uint64_t>(args, cpu_to_mt);
+    proc.poke<std::uint64_t>(args + 8, mt_to_cpu);
+    proc.poke<std::uint64_t>(args + 16, trace);
+
+    constexpr unsigned pings = 10;
+    m.runMain(proc, [](ThreadContext &ctx, VAddr a) -> GuestTask {
+        const VAddr c2m = co_await ctx.load<std::uint64_t>(a);
+        const VAddr m2c = co_await ctx.load<std::uint64_t>(a + 8);
+        co_await createMthread(
+            ctx,
+            [](ThreadContext &mt, VAddr aa) -> GuestTask {
+                const VAddr c2m_va =
+                    co_await mt.load<std::uint64_t>(aa);
+                const VAddr m2c_va =
+                    co_await mt.load<std::uint64_t>(aa + 8);
+                const VAddr tr =
+                    co_await mt.load<std::uint64_t>(aa + 16);
+                for (unsigned i = 0; i < pings; ++i) {
+                    co_await mttopWait(mt, c2m_va); // tid 0 slot
+                    co_await mt.amo(tr, coherence::AmoOp::Inc);
+                    co_await mttopSignal(mt, m2c_va);
+                }
+            },
+            a, 0, 0);
+        for (unsigned i = 0; i < pings; ++i) {
+            co_await cpuSignalAll(ctx, c2m, 0, 0);
+            co_await cpuWaitAll(ctx, m2c, 0, 0);
+            // Consume for reuse (slots are one-shot).
+            co_await ctx.store<std::uint32_t>(m2c, 0);
+        }
+    }, args);
+
+    EXPECT_EQ(proc.peek<std::uint64_t>(trace), pings);
+}
+
+} // namespace
+} // namespace ccsvm::xthreads

@@ -1,0 +1,117 @@
+// Scratch diagnostic: run one CCSVM matmul and dump key stats and
+// phase timings to find where simulated time goes.
+#include <cstdio>
+
+#include "runtime/xthreads.hh"
+#include "system/ccsvm_machine.hh"
+
+using namespace ccsvm;
+using core::ThreadContext;
+using sim::GuestTask;
+using vm::VAddr;
+namespace xt = ccsvm::xthreads;
+
+int
+main()
+{
+    const unsigned n = 32;
+    system::CcsvmMachine m;
+    auto &proc = m.createProcess();
+    const unsigned threads = n * n;
+
+    const VAddr a = proc.gmalloc(n * n * 4);
+    const VAddr b = proc.gmalloc(n * n * 4);
+    const VAddr c = proc.gmalloc(n * n * 4);
+    const VAddr done = proc.gmalloc(threads * 4);
+    const VAddr args = proc.gmalloc(64);
+    for (unsigned t = 0; t < threads; ++t)
+        proc.poke<std::uint32_t>(done + t * 4, 0);
+    proc.poke<std::uint64_t>(args, a);
+    proc.poke<std::uint64_t>(args + 8, b);
+    proc.poke<std::uint64_t>(args + 16, c);
+    proc.poke<std::uint64_t>(args + 24, done);
+    proc.poke<std::uint32_t>(args + 32, n);
+    proc.poke<std::uint32_t>(args + 36, threads);
+
+    Tick t_init = 0, t_launch = 0;
+    const Tick total = m.runMain(
+        proc,
+        [&](ThreadContext &ctx, VAddr args_va) -> GuestTask {
+            const Tick t0 = m.now();
+            for (unsigned idx = 0; idx < n * n; ++idx) {
+                co_await ctx.compute(2);
+                co_await ctx.store<std::int32_t>(a + idx * 4, 1);
+                co_await ctx.store<std::int32_t>(b + idx * 4, 1);
+            }
+            t_init = m.now() - t0;
+            const Tick t1 = m.now();
+            co_await xt::createMthread(
+                ctx,
+                [](ThreadContext &mt, VAddr aa) -> GuestTask {
+                    const VAddr pa =
+                        co_await mt.load<std::uint64_t>(aa);
+                    const VAddr pb =
+                        co_await mt.load<std::uint64_t>(aa + 8);
+                    const VAddr pc =
+                        co_await mt.load<std::uint64_t>(aa + 16);
+                    const VAddr pd =
+                        co_await mt.load<std::uint64_t>(aa + 24);
+                    const auto nn =
+                        co_await mt.load<std::uint32_t>(aa + 32);
+                    const unsigned e = mt.tid();
+                    const unsigned row = e / nn, col = e % nn;
+                    std::int64_t acc = 0;
+                    for (unsigned k = 0; k < nn; ++k) {
+                        const auto x =
+                            co_await mt.load<std::int32_t>(
+                                pa + (row * nn + k) * 4);
+                        const auto y =
+                            co_await mt.load<std::int32_t>(
+                                pb + (k * nn + col) * 4);
+                        co_await mt.compute(2);
+                        acc += static_cast<std::int64_t>(x) * y;
+                    }
+                    co_await mt.store<std::int32_t>(
+                        pc + e * 4, static_cast<std::int32_t>(acc));
+                    co_await xt::mttopSignal(mt, pd);
+                },
+                args_va, 0, threads - 1);
+            t_launch = m.now() - t1;
+            co_await xt::cpuWaitAll(ctx, done, 0, threads - 1);
+        },
+        args);
+
+    std::printf("total   %8.1f us\n", total / 1e6);
+    std::printf("init    %8.1f us\n", t_init / 1e6);
+    std::printf("launch  %8.1f us (syscall return only)\n",
+                t_launch / 1e6);
+    std::printf("wait    %8.1f us\n",
+                (total - t_init - t_launch) / 1e6);
+    for (const char *s :
+         {"mifd.tasks", "mifd.chunks", "kernel.pageFaults",
+          "mifd.faultRelays", "dram.reads", "dram.writes"})
+        std::printf("%-22s %llu\n", s,
+                    (unsigned long long)m.stats().get(s));
+    std::uint64_t mt_instr = 0, mt_mem = 0, l1m = 0, l1h = 0;
+    for (int i = 0; i < 10; ++i) {
+        mt_instr += m.stats().get("mttop" + std::to_string(i) +
+                                  ".instructions");
+        mt_mem += m.stats().get("mttop" + std::to_string(i) +
+                                ".memOps");
+        l1m += m.stats().get("mttop" + std::to_string(i) +
+                             ".l1.misses");
+        l1h += m.stats().get("mttop" + std::to_string(i) +
+                             ".l1.hits");
+    }
+    std::printf("mttop instr %llu memops %llu l1h %llu l1m %llu\n",
+                (unsigned long long)mt_instr,
+                (unsigned long long)mt_mem, (unsigned long long)l1h,
+                (unsigned long long)l1m);
+    std::printf("cpu0 instr %llu  tlb misses %llu  walks %llu\n",
+                (unsigned long long)m.stats().get(
+                    "cpu0.instructions"),
+                (unsigned long long)m.stats().get("cpu0.tlb.misses"),
+                (unsigned long long)m.stats().get(
+                    "cpu0.walker.walks"));
+    return 0;
+}
