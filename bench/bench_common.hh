@@ -21,11 +21,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
+#include "sim/stats.hh"
 #include "workloads/workloads.hh"
 
 namespace ccsvm::bench
@@ -83,6 +85,59 @@ class FigureTable
         std::printf("\n");
     }
 
+    /**
+     * Write the figure as JSON: title, x label, series names, and one
+     * row object per x value. Shares the number/escape helpers with
+     * the stats registry so `BENCH_*.json` files and the ccsvm
+     * driver's output form one schema family.
+     */
+    bool
+    writeJson(const std::string &path, const char *title,
+              const char *x_label) const
+    {
+        std::ofstream os(path);
+        if (!os)
+            return false;
+        os << "{\n  \"title\": \"" << sim::jsonEscape(title)
+           << "\",\n  \"x_label\": \"" << sim::jsonEscape(x_label)
+           << "\",\n  \"series\": [";
+        std::vector<std::string> cols(seriesNames_.size());
+        for (const auto &[name, idx] : seriesNames_)
+            cols[idx] = name;
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            os << (i ? ", " : "") << '"' << sim::jsonEscape(cols[i])
+               << '"';
+        os << "],\n  \"rows\": [";
+        bool first_row = true;
+        for (const auto &[x, row] : data_) {
+            os << (first_row ? "\n" : ",\n") << "    {\"x\": " << x;
+            for (const auto &[name, value] : row)
+                os << ", \"" << sim::jsonEscape(name)
+                   << "\": " << sim::jsonNumber(value);
+            os << "}";
+            first_row = false;
+        }
+        os << (first_row ? "" : "\n  ") << "]\n}\n";
+        return bool(os.flush());
+    }
+
+    /**
+     * Honor the CCSVM_BENCH_JSON environment knob: when set, write
+     * the collected figure there after the run (used by
+     * bench/run_figures.sh to sweep every figure binary).
+     */
+    void
+    writeJsonFromEnv(const char *title, const char *x_label) const
+    {
+        const char *path = std::getenv("CCSVM_BENCH_JSON");
+        if (!path || !path[0])
+            return;
+        if (!writeJson(path, title, x_label))
+            std::fprintf(stderr, "cannot write %s\n", path);
+        else
+            std::printf("figure JSON written to %s\n", path);
+    }
+
   private:
     std::map<std::uint64_t, std::map<std::string, double>> data_;
     std::map<std::string, std::size_t> seriesNames_;
@@ -117,6 +172,8 @@ setCounters(benchmark::State &state,
         ::benchmark::RunSpecifiedBenchmarks();                        \
         ::ccsvm::bench::FigureTable::instance().print(title,          \
                                                       x_label);       \
+        ::ccsvm::bench::FigureTable::instance().writeJsonFromEnv(     \
+            title, x_label);                                          \
         return 0;                                                     \
     }
 

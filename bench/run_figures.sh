@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sweep every figure benchmark binary and collect its JSON output,
+# in the spirit of gem5-coherence-benchmark's run_coherence.sh.
+#
+# Usage: bench/run_figures.sh [build-dir] [out-dir]
+#   CCSVM_BENCH_LARGE=1   extend sweeps toward the paper's sizes
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-figures-json}"
+
+FIGURES=(fig5_matmul fig6_apsp fig7_barneshut fig8_spmm fig9_dram
+         abl_launch abl_tlb abl_atomics)
+
+mkdir -p "$OUT_DIR"
+for fig in "${FIGURES[@]}"; do
+    bin="$BUILD_DIR/bench/$fig"
+    if [[ ! -x $bin ]]; then
+        echo "run_figures: missing $bin (build with CCSVM_BUILD_BENCH=ON)" >&2
+        exit 1
+    fi
+    echo "=== $fig ==="
+    CCSVM_BENCH_JSON="$OUT_DIR/BENCH_$fig.json" "$bin"
+done
+
+# table2_config is a plain report, not a google-benchmark sweep.
+"$BUILD_DIR/bench/table2_config" > "$OUT_DIR/table2_config.txt"
+
+echo
+echo "collected outputs in $OUT_DIR:"
+ls -l "$OUT_DIR"

@@ -1,0 +1,44 @@
+# Test script: run the ccsvm driver with --json and assert the output
+# is valid JSON carrying simulated ticks and DRAM-transaction counters.
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -DCCSVM_JSON_OUT=<path>
+#              -P CheckDriverJson.cmake
+
+if(NOT CCSVM_DRIVER OR NOT CCSVM_JSON_OUT)
+  message(FATAL_ERROR "CCSVM_DRIVER and CCSVM_JSON_OUT are required")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --workload matmul --n 8
+          --json ${CCSVM_JSON_OUT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "driver exited ${rc}\nstdout: ${out}\n"
+                      "stderr: ${err}")
+endif()
+
+file(READ ${CCSVM_JSON_OUT} doc)
+
+# string(JSON ...) hard-errors on malformed JSON or a missing key,
+# which is exactly the assertion we want.
+string(JSON ticks GET "${doc}" sim ticks)
+string(JSON dram GET "${doc}" sim dram_accesses)
+string(JSON correct GET "${doc}" sim correct)
+string(JSON dram_reads GET "${doc}" stats counters dram.reads)
+string(JSON sim_ticks_counter GET "${doc}" stats counters sim.ticks)
+
+if(ticks LESS_EQUAL 0)
+  message(FATAL_ERROR "sim.ticks not positive: ${ticks}")
+endif()
+if(NOT correct STREQUAL "ON" AND NOT correct STREQUAL "true")
+  message(FATAL_ERROR "workload output failed validation: ${correct}")
+endif()
+if(NOT ticks EQUAL sim_ticks_counter)
+  message(FATAL_ERROR "sim.ticks counter (${sim_ticks_counter}) "
+                      "disagrees with summary (${ticks})")
+endif()
+
+message(STATUS "driver JSON ok: ticks=${ticks} dram=${dram} "
+               "dram.reads=${dram_reads}")

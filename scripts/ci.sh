@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build warnings-as-errors, run every test.
+# Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCCSVM_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

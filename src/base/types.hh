@@ -11,7 +11,21 @@
 #ifndef CCSVM_BASE_TYPES_HH
 #define CCSVM_BASE_TYPES_HH
 
+// Fail fast on a silent C++-standard downgrade: with -std=c++17 the
+// build dies deep inside <coroutine> uses (core/thread_context.hh) and
+// on std::popcount (coherence/directory.cc) with errors that don't
+// name the real cause. Every translation unit includes this header.
+#if __cplusplus < 202002L
+#error "ccsvm requires C++20: build with -std=c++20 (CMake does this; \
+check CMAKE_CXX_STANDARD / stale compile flags)"
+#endif
+
 #include <cstdint>
+#include <version>
+
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error "ccsvm needs <bit> std::popcount (C++20 library support)"
+#endif
 
 namespace ccsvm
 {

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -18,6 +19,43 @@
 
 namespace ccsvm::sim
 {
+
+/** Escape a string for inclusion in a JSON document. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/** Format a double as a JSON number (JSON has no inf/nan). */
+inline std::string
+jsonNumber(double x)
+{
+    if (!(x == x) || x > 1e308 || x < -1e308)
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
 
 /** Monotonically increasing event counter. */
 class Counter
@@ -172,6 +210,41 @@ class StatRegistry
                << name << "::min " << d->minValue() << "\n"
                << name << "::max " << d->maxValue() << "\n";
         }
+    }
+
+    /**
+     * JSON dump: one object with "counters" (name -> value) and
+     * "distributions" (name -> {count, sum, mean, min, max}) members.
+     * Emitted sorted by name so diffs between runs are stable. The
+     * driver and the figure benchmarks both embed this object in
+     * their output files.
+     */
+    void
+    dumpJson(std::ostream &os, const std::string &indent = "") const
+    {
+        const std::string in1 = indent + "  ";
+        const std::string in2 = in1 + "  ";
+        os << "{\n" << in1 << "\"counters\": {";
+        bool first = true;
+        for (const auto &[name, c] : counters_) {
+            os << (first ? "\n" : ",\n") << in2 << '"'
+               << jsonEscape(name) << "\": " << c->value();
+            first = false;
+        }
+        os << (first ? "" : "\n" + in1) << "},\n"
+           << in1 << "\"distributions\": {";
+        first = true;
+        for (const auto &[name, d] : dists_) {
+            os << (first ? "\n" : ",\n") << in2 << '"'
+               << jsonEscape(name) << "\": {"
+               << "\"count\": " << d->count()
+               << ", \"sum\": " << jsonNumber(d->sum())
+               << ", \"mean\": " << jsonNumber(d->mean())
+               << ", \"min\": " << jsonNumber(d->minValue())
+               << ", \"max\": " << jsonNumber(d->maxValue()) << "}";
+            first = false;
+        }
+        os << (first ? "" : "\n" + in1) << "}\n" << indent << "}";
     }
 
   private:

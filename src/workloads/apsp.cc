@@ -156,9 +156,8 @@ verify(const std::function<std::int32_t(unsigned)> &read, unsigned n)
 } // namespace
 
 RunResult
-apspXthreads(unsigned n, system::CcsvmConfig cfg)
+apspXthreads(system::CcsvmMachine &m, unsigned n)
 {
-    system::CcsvmMachine m(cfg);
     runtime::Process &proc = m.createProcess();
 
     const unsigned max_contexts =
@@ -212,6 +211,13 @@ apspXthreads(unsigned n, system::CcsvmConfig cfg)
         },
         n);
     return r;
+}
+
+RunResult
+apspXthreads(unsigned n, system::CcsvmConfig cfg)
+{
+    system::CcsvmMachine m(cfg);
+    return apspXthreads(m, n);
 }
 
 RunResult

@@ -537,9 +537,8 @@ coordinatorLoop(ThreadContext &ctx, const BarnesHutParams &p,
 } // namespace
 
 RunResult
-barnesHutXthreads(const BarnesHutParams &p, system::CcsvmConfig cfg)
+barnesHutXthreads(system::CcsvmMachine &m, const BarnesHutParams &p)
 {
-    system::CcsvmMachine m(cfg);
     runtime::Process &proc = m.createProcess();
 
     const unsigned max_contexts =
@@ -579,6 +578,13 @@ barnesHutXthreads(const BarnesHutParams &p, system::CcsvmConfig cfg)
     r.dramAccesses = m.dramAccesses() - dram0;
     r.correct = verifyPositions(proc, bodies, p);
     return r;
+}
+
+RunResult
+barnesHutXthreads(const BarnesHutParams &p, system::CcsvmConfig cfg)
+{
+    system::CcsvmMachine m(cfg);
+    return barnesHutXthreads(m, p);
 }
 
 RunResult

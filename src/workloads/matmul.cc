@@ -136,9 +136,8 @@ verify(runtime::Process &proc, VAddr c, unsigned n)
 } // namespace
 
 RunResult
-matmulXthreads(unsigned n, system::CcsvmConfig cfg)
+matmulXthreads(system::CcsvmMachine &m, unsigned n)
 {
-    system::CcsvmMachine m(cfg);
     runtime::Process &proc = m.createProcess();
 
     const unsigned max_contexts =
@@ -181,6 +180,13 @@ matmulXthreads(unsigned n, system::CcsvmConfig cfg)
     r.dramAccesses = m.dramAccesses() - dram0;
     r.correct = verify(proc, c, n);
     return r;
+}
+
+RunResult
+matmulXthreads(unsigned n, system::CcsvmConfig cfg)
+{
+    system::CcsvmMachine m(cfg);
+    return matmulXthreads(m, n);
 }
 
 RunResult

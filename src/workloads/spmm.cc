@@ -266,9 +266,8 @@ verify(runtime::Process &proc, const SpmmParams &p, VAddr c_rows)
 } // namespace
 
 RunResult
-spmmXthreads(const SpmmParams &p, system::CcsvmConfig cfg)
+spmmXthreads(system::CcsvmMachine &m, const SpmmParams &p)
 {
-    system::CcsvmMachine m(cfg);
     runtime::Process &proc = m.createProcess();
 
     const unsigned max_contexts =
@@ -325,6 +324,13 @@ spmmXthreads(const SpmmParams &p, system::CcsvmConfig cfg)
     r.dramAccesses = m.dramAccesses() - dram0;
     r.correct = verify(proc, p, c_rows);
     return r;
+}
+
+RunResult
+spmmXthreads(const SpmmParams &p, system::CcsvmConfig cfg)
+{
+    system::CcsvmMachine m(cfg);
+    return spmmXthreads(m, p);
 }
 
 RunResult

@@ -47,6 +47,12 @@ struct RunResult
 
 // --- dense matrix multiply (Fig. 5 / Fig. 9) -------------------------
 
+// Each CCSVM runner comes in two forms: the original one that builds
+// a fresh machine from a config, and an overload that runs on a
+// caller-provided machine so the caller keeps access to the full
+// stats registry afterwards (the ccsvm driver's JSON dump needs it).
+
+RunResult matmulXthreads(system::CcsvmMachine &m, unsigned n);
 RunResult matmulXthreads(unsigned n,
                          system::CcsvmConfig cfg = {});
 RunResult matmulOpenCl(unsigned n, apu::ApuConfig cfg = {},
@@ -55,6 +61,7 @@ RunResult matmulCpuSingle(unsigned n, apu::ApuConfig cfg = {});
 
 // --- all-pairs shortest path (Fig. 6) --------------------------------
 
+RunResult apspXthreads(system::CcsvmMachine &m, unsigned n);
 RunResult apspXthreads(unsigned n, system::CcsvmConfig cfg = {});
 RunResult apspOpenCl(unsigned n, apu::ApuConfig cfg = {},
                      apu::ocl::OclConfig ocl = {});
@@ -71,6 +78,8 @@ struct BarnesHutParams
     std::uint64_t seed = 42;
 };
 
+RunResult barnesHutXthreads(system::CcsvmMachine &m,
+                            const BarnesHutParams &p);
 RunResult barnesHutXthreads(const BarnesHutParams &p,
                             system::CcsvmConfig cfg = {});
 RunResult barnesHutCpuSingle(const BarnesHutParams &p,
@@ -88,6 +97,8 @@ struct SpmmParams
     std::uint64_t seed = 7;
 };
 
+RunResult spmmXthreads(system::CcsvmMachine &m,
+                       const SpmmParams &p);
 RunResult spmmXthreads(const SpmmParams &p,
                        system::CcsvmConfig cfg = {});
 RunResult spmmCpuSingle(const SpmmParams &p, apu::ApuConfig cfg = {});

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * The `ccsvm` simulation driver: build a CCSVM machine from
+ * command-line flags (core counts and cache geometry default to the
+ * paper's Table 2), run one named workload on it, and report the
+ * result — a one-line summary on stdout, optionally the full stats
+ * registry as text (--stats) and/or JSON (--json FILE).
+ *
+ *   ccsvm --workload matmul --n 32 --json out.json
+ *   ccsvm --workload barneshut --bodies 128 --steps 2 --stats
+ *   ccsvm --workload apsp --n 48 --mttop-cores 4 --cpu-l1-kb 32
+ *
+ * The JSON file carries a "sim" summary (ticks, DRAM transactions,
+ * validation verdict) plus the complete counter/distribution registry,
+ * in the same shape the figure benchmarks emit via CCSVM_BENCH_JSON —
+ * one schema for every machine-readable artifact this repo produces.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/stats.hh"
+#include "system/ccsvm_machine.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ccsvm;
+
+struct DriverOptions
+{
+    std::string workload = "matmul";
+    unsigned n = 32;            ///< matmul/apsp matrix dim, spmm dim
+    workloads::BarnesHutParams bh;
+    workloads::SpmmParams spmm;
+
+    system::CcsvmConfig cfg;
+
+    std::string jsonPath;       ///< empty = no JSON output
+    bool textStats = false;
+    bool verbose = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "workload selection:\n"
+        "  --workload NAME     matmul | apsp | barneshut | spmm "
+        "(default matmul)\n"
+        "  --n N               matrix dimension for matmul/apsp/spmm "
+        "(default 32)\n"
+        "  --bodies N          barneshut body count (default 256)\n"
+        "  --steps N           barneshut time steps (default 2)\n"
+        "  --density F         spmm non-zero fraction (default 0.01)\n"
+        "  --seed N            barneshut/spmm input seed\n"
+        "\n"
+        "machine configuration (defaults = paper Table 2):\n"
+        "  --cpu-cores N       in-order CPU cores (default 4)\n"
+        "  --mttop-cores N     MTTOP cores (default 10)\n"
+        "  --mttop-contexts N  thread contexts per MTTOP core "
+        "(default 128)\n"
+        "  --l2-banks N        L2/directory bank count (default 4)\n"
+        "  --cpu-l1-kb K       CPU L1 size (default 64)\n"
+        "  --mttop-l1-kb K     MTTOP L1 size (default 16)\n"
+        "  --l2-bank-kb K      per-bank L2 size (default 1024)\n"
+        "  --dram-ns N         flat DRAM latency (default 100)\n"
+        "  --no-swmr           disable the SWMR checker (faster host "
+        "run)\n"
+        "\n"
+        "output:\n"
+        "  --json FILE         write summary + full stats registry as "
+        "JSON\n"
+        "  --stats             dump the stats registry as text on "
+        "stdout\n"
+        "  --verbose           keep simulator log output\n"
+        "  --help              this text\n",
+        argv0);
+}
+
+/**
+ * Parse the next argument of flag @p name as an unsigned integer.
+ * Count-like flags (core counts, sizes) reject 0; flags where 0 is
+ * meaningful (--seed, --steps, --dram-ns) pass @p allow_zero.
+ */
+unsigned
+parseUnsigned(const char *name, const char *value,
+              bool allow_zero = false)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (!value[0] || *end || (v == 0 && !allow_zero)) {
+        std::fprintf(stderr, "ccsvm: %s needs a %s integer, "
+                     "got '%s'\n", name,
+                     allow_zero ? "non-negative" : "positive", value);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const char *name, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    if (!value[0] || *end) {
+        std::fprintf(stderr, "ccsvm: %s needs a number, got '%s'\n",
+                     name, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+DriverOptions
+parseArgs(int argc, char **argv)
+{
+    DriverOptions o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "ccsvm: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--workload") {
+            o.workload = next();
+        } else if (arg == "--n") {
+            o.n = parseUnsigned("--n", next());
+        } else if (arg == "--bodies") {
+            o.bh.bodies = parseUnsigned("--bodies", next());
+        } else if (arg == "--steps") {
+            o.bh.steps = parseUnsigned("--steps", next(), true);
+        } else if (arg == "--density") {
+            o.spmm.density = parseDouble("--density", next());
+        } else if (arg == "--seed") {
+            const unsigned s = parseUnsigned("--seed", next(), true);
+            o.bh.seed = s;
+            o.spmm.seed = s;
+        } else if (arg == "--cpu-cores") {
+            o.cfg.numCpuCores =
+                static_cast<int>(parseUnsigned("--cpu-cores", next()));
+        } else if (arg == "--mttop-cores") {
+            o.cfg.numMttopCores = static_cast<int>(
+                parseUnsigned("--mttop-cores", next()));
+        } else if (arg == "--mttop-contexts") {
+            o.cfg.mttop.numContexts =
+                parseUnsigned("--mttop-contexts", next());
+        } else if (arg == "--l2-banks") {
+            o.cfg.numL2Banks =
+                static_cast<int>(parseUnsigned("--l2-banks", next()));
+        } else if (arg == "--cpu-l1-kb") {
+            o.cfg.cpuL1.sizeBytes =
+                Addr(parseUnsigned("--cpu-l1-kb", next())) * 1024;
+        } else if (arg == "--mttop-l1-kb") {
+            o.cfg.mttopL1.sizeBytes =
+                Addr(parseUnsigned("--mttop-l1-kb", next())) * 1024;
+        } else if (arg == "--l2-bank-kb") {
+            o.cfg.l2.bankSizeBytes =
+                Addr(parseUnsigned("--l2-bank-kb", next())) * 1024;
+        } else if (arg == "--dram-ns") {
+            o.cfg.dram.accessLatency =
+                Tick(parseUnsigned("--dram-ns", next(), true)) *
+                tickNs;
+        } else if (arg == "--no-swmr") {
+            o.cfg.swmrChecks = false;
+        } else if (arg == "--json") {
+            o.jsonPath = next();
+        } else if (arg == "--stats") {
+            o.textStats = true;
+        } else if (arg == "--verbose") {
+            o.verbose = true;
+        } else {
+            std::fprintf(stderr, "ccsvm: unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+/** Run the selected workload on @p m; exits on an unknown name. */
+workloads::RunResult
+runWorkload(const DriverOptions &o, system::CcsvmMachine &m)
+{
+    if (o.workload == "matmul")
+        return workloads::matmulXthreads(m, o.n);
+    if (o.workload == "apsp")
+        return workloads::apspXthreads(m, o.n);
+    if (o.workload == "barneshut")
+        return workloads::barnesHutXthreads(m, o.bh);
+    if (o.workload == "spmm") {
+        workloads::SpmmParams p = o.spmm;
+        p.n = o.n;
+        return workloads::spmmXthreads(m, p);
+    }
+    std::fprintf(stderr, "ccsvm: unknown workload '%s' (want matmul, "
+                 "apsp, barneshut or spmm)\n", o.workload.c_str());
+    std::exit(2);
+}
+
+void
+writeJson(const DriverOptions &o, system::CcsvmMachine &m,
+          const workloads::RunResult &r)
+{
+    std::ofstream os(o.jsonPath);
+    if (!os) {
+        std::fprintf(stderr, "ccsvm: cannot write %s\n",
+                     o.jsonPath.c_str());
+        std::exit(1);
+    }
+    os << "{\n"
+       << "  \"workload\": \"" << sim::jsonEscape(o.workload)
+       << "\",\n"
+       << "  \"params\": {\"n\": " << o.n
+       << ", \"bodies\": " << o.bh.bodies
+       << ", \"steps\": " << o.bh.steps
+       << ", \"density\": " << sim::jsonNumber(o.spmm.density)
+       << "},\n"
+       << "  \"machine\": {\"cpu_cores\": " << o.cfg.numCpuCores
+       << ", \"mttop_cores\": " << o.cfg.numMttopCores
+       << ", \"mttop_contexts\": " << o.cfg.mttop.numContexts
+       << ", \"l2_banks\": " << o.cfg.numL2Banks
+       << ", \"cpu_l1_bytes\": " << o.cfg.cpuL1.sizeBytes
+       << ", \"mttop_l1_bytes\": " << o.cfg.mttopL1.sizeBytes
+       << ", \"l2_bank_bytes\": " << o.cfg.l2.bankSizeBytes
+       << "},\n"
+       << "  \"sim\": {\"ticks\": " << r.ticks
+       << ", \"ticks_no_init\": " << r.ticksNoInit
+       << ", \"dram_accesses\": " << r.dramAccesses
+       << ", \"correct\": " << (r.correct ? "true" : "false")
+       << "},\n"
+       << "  \"stats\": ";
+    m.stats().dumpJson(os, "  ");
+    os << "\n}\n";
+    if (!os.flush()) {
+        std::fprintf(stderr, "ccsvm: short write to %s\n",
+                     o.jsonPath.c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const DriverOptions o = parseArgs(argc, argv);
+    if (!o.verbose)
+        setQuiet(true);
+
+    system::CcsvmMachine m(o.cfg);
+    const workloads::RunResult r = runWorkload(o, m);
+
+    // Mirror the run summary into the registry so every consumer of
+    // the stats dump — text or JSON — sees the headline numbers next
+    // to the component counters.
+    m.stats().counter("sim.ticks", "simulated ticks (ps)") += r.ticks;
+    m.stats().counter("sim.dramAccesses",
+                      "off-chip DRAM transactions in the measured "
+                      "region") += r.dramAccesses;
+
+    std::printf("ccsvm: workload=%s ticks=%llu sim_ms=%.3f "
+                "dram=%llu correct=%s\n",
+                o.workload.c_str(), (unsigned long long)r.ticks,
+                static_cast<double>(r.ticks) /
+                    static_cast<double>(tickMs),
+                (unsigned long long)r.dramAccesses,
+                r.correct ? "yes" : "NO");
+
+    if (o.textStats)
+        m.dumpStats(std::cout);
+    if (!o.jsonPath.empty())
+        writeJson(o, m, r);
+
+    return r.correct ? 0 : 1;
+}
