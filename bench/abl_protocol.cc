@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Ablation A4: coherence-protocol choice (MSI / MESI / MOESI).
+ *
+ * The paper fixes "a standard, unoptimized MOESI directory protocol"
+ * (Sec. 3.2.2); this ablation treats the protocol as the design axis
+ * it is for a heterogeneous chip. Each protocol runs the dense-matmul
+ * and sparse-matmul workloads on an otherwise identical machine, and
+ * the table reports runtime plus the protocol-sensitive traffic:
+ * writebacks (off-chip plus the dirty-read writebacks that protocols
+ * without an O state pay) and invalidations received at the L1s.
+ * MOESI's O state should show the fewest writebacks; MSI, lacking E,
+ * additionally pays an explicit upgrade for private read-then-write.
+ */
+
+#include "bench_common.hh"
+
+#include "coherence/protocol.hh"
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+using coherence::Protocol;
+
+constexpr Protocol kProtocols[] = {Protocol::MSI, Protocol::MESI,
+                                   Protocol::MOESI};
+
+/** Writebacks: off-chip dirty evictions plus dirty-read writebacks
+ * at the home (the cost of having no Owned state). */
+std::uint64_t
+writebacks(system::CcsvmMachine &m)
+{
+    std::uint64_t total = 0;
+    for (int b = 0; ; ++b) {
+        const std::string bank = "dir" + std::to_string(b);
+        if (!m.stats().hasCounter(bank + ".writebacks"))
+            break;
+        total += m.stats().get(bank + ".writebacks");
+        total += m.stats().get(bank + ".sharingWb");
+    }
+    return total;
+}
+
+/** Invalidations received across every L1. */
+std::uint64_t
+invalidations(system::CcsvmMachine &m)
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < m.numCpuCores(); ++i)
+        total += m.stats().get("cpu" + std::to_string(i) +
+                               ".l1.invs");
+    for (int j = 0; j < m.numMttopCores(); ++j)
+        total += m.stats().get("mttop" + std::to_string(j) +
+                               ".l1.invs");
+    return total;
+}
+
+void
+recordRow(system::CcsvmMachine &m, const char *workload,
+          std::uint64_t x, const workloads::RunResult &r)
+{
+    const std::string p = coherence::protocolName(m.protocol());
+    auto &table = FigureTable::instance();
+    table.record(x, p + "_" + workload + "_ms", toMs(r.ticks));
+    table.record(x, p + "_" + workload + "_wb",
+                 static_cast<double>(writebacks(m)));
+    table.record(x, p + "_" + workload + "_invs",
+                 static_cast<double>(invalidations(m)));
+}
+
+void
+BM_ProtocolMatmul(benchmark::State &state)
+{
+    const auto proto = kProtocols[state.range(0)];
+    const auto n = static_cast<unsigned>(state.range(1));
+    system::CcsvmConfig cfg;
+    cfg.protocol = proto;
+    system::CcsvmMachine m(cfg);
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::matmulXthreads(m, n);
+    setCounters(state, r);
+    recordRow(m, "matmul", n, r);
+}
+
+void
+BM_ProtocolSpmm(benchmark::State &state)
+{
+    const auto proto = kProtocols[state.range(0)];
+    const auto n = static_cast<unsigned>(state.range(1));
+    system::CcsvmConfig cfg;
+    cfg.protocol = proto;
+    system::CcsvmMachine m(cfg);
+    workloads::SpmmParams p;
+    p.n = n;
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmXthreads(m, p);
+    setCounters(state, r);
+    recordRow(m, "spmm", n, r);
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> matmul_sizes = {16, 32};
+    std::vector<std::int64_t> spmm_sizes = {32};
+    if (largeSweeps()) {
+        matmul_sizes.push_back(64);
+        spmm_sizes.push_back(64);
+    }
+    for (std::int64_t pi = 0; pi < 3; ++pi) {
+        const char *pname = coherence::protocolName(kProtocols[pi]);
+        for (const std::int64_t n : matmul_sizes) {
+            benchmark::RegisterBenchmark(
+                ("abl_protocol/matmul_" + std::string(pname))
+                    .c_str(),
+                BM_ProtocolMatmul)
+                ->Args({pi, n})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+        for (const std::int64_t n : spmm_sizes) {
+            benchmark::RegisterBenchmark(
+                ("abl_protocol/spmm_" + std::string(pname)).c_str(),
+                BM_ProtocolSpmm)
+                ->Args({pi, n})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Ablation A4: coherence protocol sweep (runtime ms, writebacks "
+    "incl. dirty-read WBs, L1 invalidations; per protocol and "
+    "workload)",
+    "n")

@@ -1,0 +1,55 @@
+# Test script: the ccsvm driver must reject unknown flags and bad
+# flag values fast, with a clear error plus a usage hint on stderr and
+# exit code 2 (not silently ignore them and simulate anyway).
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -P CheckDriverBadFlag.cmake
+
+if(NOT CCSVM_DRIVER)
+  message(FATAL_ERROR "CCSVM_DRIVER is required")
+endif()
+
+# Unknown option: error + usage hint, exit 2.
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --definitely-not-a-flag
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown flag exited ${rc}, want 2\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "unknown option '--definitely-not-a-flag'")
+  message(FATAL_ERROR "missing unknown-option error on stderr:\n"
+                      "${err}")
+endif()
+if(NOT err MATCHES "usage:")
+  message(FATAL_ERROR "missing usage hint on stderr:\n${err}")
+endif()
+
+# Bad value for a validated flag: error naming the flag, exit 2.
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --protocol mosi
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --protocol exited ${rc}, want 2\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "--protocol")
+  message(FATAL_ERROR "bad --protocol error does not name the "
+                      "flag:\n${err}")
+endif()
+
+# Flag missing its argument: exit 2.
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --workload
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing argument exited ${rc}, want 2\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+
+message(STATUS "driver flag validation ok")

@@ -1,0 +1,91 @@
+# Test script: run the driver's matmul workload under every coherence
+# protocol and assert the protocol axis behaves as designed:
+#
+#   - each run validates and echoes its protocol in the JSON summary
+#   - msi (no E, no O) pays strictly more writebacks (off-chip plus
+#     dirty-read writebacks) and at least as many invalidations as
+#     moesi, whose Owned state absorbs dirty sharing
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -DCCSVM_OUT_DIR=<dir>
+#              -P CheckProtocolSweep.cmake
+
+if(NOT CCSVM_DRIVER OR NOT CCSVM_OUT_DIR)
+  message(FATAL_ERROR "CCSVM_DRIVER and CCSVM_OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${CCSVM_OUT_DIR})
+
+foreach(proto IN ITEMS msi mesi moesi)
+  set(json ${CCSVM_OUT_DIR}/protocol_sweep_${proto}.json)
+  execute_process(
+    COMMAND ${CCSVM_DRIVER} --workload matmul --n 16
+            --protocol ${proto} --json ${json}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--protocol ${proto} exited ${rc}\n"
+                        "stdout: ${out}\nstderr: ${err}")
+  endif()
+
+  file(READ ${json} doc)
+  string(JSON correct GET "${doc}" sim correct)
+  if(NOT correct STREQUAL "ON" AND NOT correct STREQUAL "true")
+    message(FATAL_ERROR "${proto}: workload failed validation")
+  endif()
+  string(JSON echoed GET "${doc}" machine protocol)
+  if(NOT echoed STREQUAL proto)
+    message(FATAL_ERROR "${proto}: JSON echoes protocol '${echoed}'")
+  endif()
+
+  # Machine geometry comes from the JSON itself, so the aggregation
+  # below tracks any future change to the driver defaults.
+  string(JSON banks GET "${doc}" machine l2_banks)
+  string(JSON cpus GET "${doc}" machine cpu_cores)
+  string(JSON mttops GET "${doc}" machine mttop_cores)
+
+  # Writebacks: off-chip dirty evictions plus the dirty-read
+  # writebacks protocols without an O state pay at the home.
+  set(wb 0)
+  math(EXPR last_bank "${banks} - 1")
+  foreach(b RANGE ${last_bank})
+    string(JSON v GET "${doc}" stats counters dir${b}.writebacks)
+    math(EXPR wb "${wb} + ${v}")
+    string(JSON v GET "${doc}" stats counters dir${b}.sharingWb)
+    math(EXPR wb "${wb} + ${v}")
+  endforeach()
+
+  # Invalidations received across every L1.
+  set(invs 0)
+  math(EXPR last_cpu "${cpus} - 1")
+  foreach(c RANGE ${last_cpu})
+    string(JSON v GET "${doc}" stats counters cpu${c}.l1.invs)
+    math(EXPR invs "${invs} + ${v}")
+  endforeach()
+  math(EXPR last_mttop "${mttops} - 1")
+  foreach(mt RANGE ${last_mttop})
+    string(JSON v GET "${doc}" stats counters mttop${mt}.l1.invs)
+    math(EXPR invs "${invs} + ${v}")
+  endforeach()
+
+  set(wb_${proto} ${wb})
+  set(invs_${proto} ${invs})
+  message(STATUS "${proto}: wb=${wb} invs=${invs}")
+endforeach()
+
+if(NOT wb_msi GREATER wb_moesi)
+  message(FATAL_ERROR "msi writebacks (${wb_msi}) not strictly "
+                      "greater than moesi (${wb_moesi})")
+endif()
+if(invs_msi LESS invs_moesi)
+  message(FATAL_ERROR "msi invalidations (${invs_msi}) fewer than "
+                      "moesi (${invs_moesi})")
+endif()
+if(NOT wb_mesi GREATER wb_moesi)
+  message(FATAL_ERROR "mesi writebacks (${wb_mesi}) not strictly "
+                      "greater than moesi (${wb_moesi})")
+endif()
+
+message(STATUS "protocol sweep ok: wb msi=${wb_msi} mesi=${wb_mesi} "
+               "moesi=${wb_moesi}; invs msi=${invs_msi} "
+               "moesi=${invs_moesi}")

@@ -6,6 +6,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S . -DCCSVM_WERROR=ON
+CMAKE_ARGS=(-DCCSVM_WERROR=ON)
+# Compile through ccache when available (the CI workflow caches
+# ~/.cache/ccache across runs; local builds just get faster rebuilds).
+if command -v ccache >/dev/null 2>&1; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Per-protocol fast loop: the value-parametrized suites instantiate
+# only the protocols named in CCSVM_PROTOCOLS, so each sub-second
+# pass checks the non-long labels against one coherence protocol in
+# isolation (and proves the CCSVM_PROTOCOLS narrowing itself works).
+# The full pass below still covers all protocols together.
+for proto in msi mesi moesi; do
+    echo "=== non-long suites, protocol=$proto ==="
+    CCSVM_PROTOCOLS="$proto" ctest --test-dir "$BUILD_DIR" \
+        --output-on-failure -j "$(nproc)" -LE long
+done
+
+# Full pass: every suite (including the long label), all protocols.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

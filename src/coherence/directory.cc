@@ -18,7 +18,8 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
                      int bank_id, int num_banks, noc::Network &net,
                      noc::NodeId my_node, mem::DramCtrl &dram,
                      mem::PhysMem &phys)
-    : eq_(&eq), cfg_(cfg), bankId_(bank_id), numBanks_(num_banks),
+    : eq_(&eq), cfg_(cfg), policy_(&protocolPolicy(cfg.protocol)),
+      bankId_(bank_id), numBanks_(num_banks),
       net_(&net), node_(my_node), dram_(&dram), phys_(&phys),
       array_(cfg.bankSizeBytes, cfg.assoc),
       getS_(stats.counter(name + ".getS", "GetS requests processed")),
@@ -27,6 +28,9 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
                              "off-chip fills into the L2")),
       writebacks_(stats.counter(name + ".writebacks",
                                 "dirty L2 evictions written off-chip")),
+      sharingWb_(stats.counter(name + ".sharingWb",
+                               "dirty blocks made clean at the home "
+                               "on a read (protocols without O)")),
       recallsStat_(stats.counter(name + ".recalls",
                                  "inclusive-eviction recalls")),
       stalls_(stats.counter(name + ".stalls",
@@ -248,8 +252,9 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
         rsp.hasData = true;
         rsp.data = line->data;
         if (line->sharers == 0 && line->owner == noL1) {
-            // No cached copies anywhere: grant Exclusive.
-            rsp.type = MsgType::DataE;
+            // No cached copies anywhere: grant the best read state
+            // the protocol offers (E under MESI/MOESI, S under MSI).
+            rsp.type = policy_->soleCopyFill();
         } else {
             rsp.type = MsgType::DataS;
         }
@@ -397,27 +402,42 @@ Directory::processPutS(CohMsg &msg, L2Line *line)
 }
 
 void
+Directory::absorbDirtyData(L2Line &line, const CohMsg &msg)
+{
+    ccsvm_assert(msg.hasData, "dirty %s without data",
+                 msgTypeName(msg.type));
+    line.data = msg.data;
+    if (cfg_.memoryResident) {
+        // No shared data cache: flush straight to DRAM.
+        ++writebacks_;
+        phys_->writeBlock(msg.blockAddr, msg.data.data());
+        dram_->access(true, mem::blockBytes, [] {});
+    } else {
+        line.dirty = true;
+    }
+}
+
+void
 Directory::processPutOwned(CohMsg &msg, L2Line *line)
 {
     const bool current_owner = line && line->st != DirState::S &&
                                line->owner == msg.sender;
     if (current_owner) {
-        if (msg.dirty) {
-            ccsvm_assert(msg.hasData, "dirty PutOwned without data");
-            line->data = msg.data;
-            if (cfg_.memoryResident) {
-                // No shared data cache: flush straight to DRAM.
-                ++writebacks_;
-                phys_->writeBlock(msg.blockAddr, msg.data.data());
-                dram_->access(true, mem::blockBytes, [] {});
-            } else {
-                line->dirty = true;
-            }
-        }
+        if (msg.dirty)
+            absorbDirtyData(*line, msg);
         // A clean PutOwned (E, unmodified) leaves L2 data and dirty
         // flag untouched: the L2 copy was already current.
         line->owner = noL1;
         line->st = DirState::S;
+    } else if (line) {
+        // Stale put: ownership moved while it was in flight. If a
+        // forward raced the eviction, the Unblock re-listed the
+        // sender as a sharer — but a PutOwned means it dropped the
+        // block entirely, so clear the bit or a later Inv would
+        // target an L1 that holds nothing. (The sender cannot have
+        // re-acquired the block: it blocks new requests until our
+        // PutAck retires its victim buffer.)
+        line->sharers &= ~(1u << msg.sender);
     }
     sendPutAck(msg.blockAddr, msg.sender);
 }
@@ -444,14 +464,20 @@ Directory::processUnblock(CohMsg &msg)
         line->owner = txn.requestor;
         line->sharers = 0;
     } else if (txn.forwarded) {
-        if (msg.ownerDirty) {
+        if (msg.ownerDirty && policy_->allowsDirtySharing()) {
             // Old owner kept a dirty copy: MOESI Owned state.
             line->st = DirState::O;
             line->owner = txn.oldOwner;
             line->sharers |= 1u << txn.requestor;
         } else {
-            // Old owner was E-clean and downgraded to S; the L2 data
-            // is still current.
+            if (msg.ownerDirty) {
+                // No O state: the requestor carried the old owner's
+                // dirty data home; the line becomes clean-shared.
+                ++sharingWb_;
+                absorbDirtyData(*line, msg);
+            }
+            // The old owner downgraded to S (it was E-clean, or its
+            // dirty data just came home); the L2 data is current.
             line->st = DirState::S;
             line->owner = noL1;
             line->sharers |= 1u << txn.oldOwner;
@@ -521,7 +547,7 @@ Directory::allocateAndFetch(CohMsg msg)
         rsp.hasData = true;
         rsp.data = l->data;
         // Fresh from memory: nobody else holds it.
-        rsp.type = want_m ? MsgType::DataM : MsgType::DataE;
+        rsp.type = want_m ? MsgType::DataM : policy_->soleCopyFill();
         rsp.ackCount = 0;
         sendToL1(requestor, std::move(rsp), cfg_.l2DataLatency);
     });

@@ -1,6 +1,9 @@
 /**
  * @file
- * Banked, inclusive shared L2 cache with an embedded MOESI directory.
+ * Banked, inclusive shared L2 cache with an embedded directory.
+ * Protocol-specific decisions (E fills, Owned vs writeback-on-read)
+ * are delegated to the ProtocolPolicy selected by DirConfig, so the
+ * same bank runs MSI, MESI or MOESI (the default).
  *
  * This is the paper's home node: "the shared L2 cache is banked and
  * co-located with a banked directory that holds state used for cache
@@ -43,6 +46,9 @@ struct DirConfig
     unsigned assoc = 16;
     Tick l2DataLatency = 3450;  ///< ~10 CPU cycles / 2 MTTOP cycles
     Tick ctrlLatency = 1000;    ///< directory state access
+
+    /** Coherence protocol; must match the L1 controllers'. */
+    Protocol protocol = Protocol::MOESI;
 
     /**
      * Directory-at-memory mode (the APU baseline's CPU cluster): the
@@ -137,6 +143,12 @@ class Directory
     void retryStalled(Addr block_addr);
     void retryStalledAllocs();
 
+    /** Take dirty data arriving at the home (dirty PutOwned, or a
+     * dirty Unblock under protocols without O): update the L2 copy
+     * and either mark it dirty or, in memory-resident mode, flush it
+     * off-chip immediately. */
+    void absorbDirtyData(L2Line &line, const CohMsg &msg);
+
     // --- helpers ---
     static unsigned popcount(std::uint32_t m);
     bool isSharer(const L2Line &line, L1Id id) const;
@@ -149,6 +161,7 @@ class Directory
 
     sim::EventQueue *eq_;
     DirConfig cfg_;
+    const ProtocolPolicy *policy_;
     int bankId_;
     int numBanks_;
     noc::Network *net_;
@@ -167,6 +180,7 @@ class Directory
     sim::Counter &getM_;
     sim::Counter &fetches_;
     sim::Counter &writebacks_;
+    sim::Counter &sharingWb_;
     sim::Counter &recallsStat_;
     sim::Counter &stalls_;
 };

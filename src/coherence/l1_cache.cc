@@ -11,7 +11,8 @@ L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
                            const std::string &name, const L1Config &cfg,
                            L1Id id, noc::Network &net,
                            noc::NodeId my_node, SwmrMonitor *monitor)
-    : eq_(&eq), cfg_(cfg), id_(id), net_(&net), node_(my_node),
+    : eq_(&eq), cfg_(cfg), policy_(&protocolPolicy(cfg.protocol)),
+      id_(id), net_(&net), node_(my_node),
       monitor_(monitor), array_(cfg.sizeBytes, cfg.assoc),
       hits_(stats.counter(name + ".hits", "L1 accesses hitting")),
       misses_(stats.counter(name + ".misses", "L1 accesses missing")),
@@ -282,6 +283,15 @@ L1Controller::finalizeFill(MshrEntry &entry)
         ub.requestor = id_;
         ub.finalState = line->state;
         ub.ownerDirty = entry.fillDirty;
+        if (entry.fillDirty && policy_->unblockCarriesDirtyData()) {
+            // No O state: the old owner's dirty data must be made
+            // clean at the home node. The directory holds the block
+            // busy until this Unblock lands, so no request can read
+            // the stale L2 copy in the window.
+            ub.hasData = true;
+            ub.dirty = true;
+            ub.data = line->data;
+        }
         sendToDir(std::move(ub));
     }
 
@@ -394,10 +404,10 @@ L1Controller::handleFwdGetS(CohMsg &msg)
                      cohStateName(line->state));
         rsp.data = line->data;
         rsp.dirty = line->state != CohState::E;
-        // MOESI: a dirty owner keeps the block in O; a clean E owner
-        // downgrades to S.
-        setLineState(*line, line->state == CohState::E ? CohState::S
-                                                       : CohState::O);
+        // With an O state a dirty owner keeps the block in O; without
+        // one (and for a clean E owner) it downgrades to S, and the
+        // requestor carries the dirty data home on its Unblock.
+        setLineState(*line, policy_->ownerStateOnFwdGetS(line->state));
         sendToL1(msg.requestor, std::move(rsp));
         return;
     }

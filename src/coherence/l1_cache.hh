@@ -1,7 +1,9 @@
 /**
  * @file
- * L1 cache controller: the per-core side of the MOESI directory
- * protocol.
+ * L1 cache controller: the per-core side of the directory protocol.
+ * Protocol-specific transition decisions (E fills, dirty sharing via
+ * O) are delegated to the ProtocolPolicy selected by L1Config, so the
+ * same controller runs MSI, MESI or MOESI (the default).
  *
  * Each CPU core and each MTTOP core has a private write-back L1
  * (Table 2: CPU 64 KB 4-way, MTTOP 16 KB 4-way). Atomics are performed
@@ -25,6 +27,7 @@
 #include "coherence/mem_request.hh"
 #include "coherence/msgs.hh"
 #include "coherence/monitor.hh"
+#include "coherence/protocol.hh"
 #include "noc/network.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
@@ -60,6 +63,8 @@ struct L1Config
     unsigned assoc = 4;
     Tick hitLatency = 690;      ///< 2 CPU cycles at 2.9 GHz (Table 2)
     unsigned maxMshrs = 16;
+    /** Coherence protocol; must match the directory banks'. */
+    Protocol protocol = Protocol::MOESI;
 };
 
 /** One L1 cache controller. */
@@ -175,6 +180,7 @@ class L1Controller
 
     sim::EventQueue *eq_;
     L1Config cfg_;
+    const ProtocolPolicy *policy_;
     L1Id id_;
     noc::Network *net_;
     noc::NodeId node_;

@@ -1,0 +1,88 @@
+#include "coherence/protocol.hh"
+
+#include <cctype>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace ccsvm::coherence
+{
+
+namespace
+{
+
+class MsiPolicy final : public ProtocolPolicy
+{
+  public:
+    Protocol kind() const override { return Protocol::MSI; }
+    bool hasExclusiveState() const override { return false; }
+    bool allowsDirtySharing() const override { return false; }
+};
+
+class MesiPolicy final : public ProtocolPolicy
+{
+  public:
+    Protocol kind() const override { return Protocol::MESI; }
+    bool hasExclusiveState() const override { return true; }
+    bool allowsDirtySharing() const override { return false; }
+};
+
+class MoesiPolicy final : public ProtocolPolicy
+{
+  public:
+    Protocol kind() const override { return Protocol::MOESI; }
+    bool hasExclusiveState() const override { return true; }
+    bool allowsDirtySharing() const override { return true; }
+};
+
+} // namespace
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::MSI: return "msi";
+      case Protocol::MESI: return "mesi";
+      case Protocol::MOESI: return "moesi";
+    }
+    return "?";
+}
+
+bool
+protocolFromName(std::string_view name, Protocol &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char ch : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    if (lower == "msi") {
+        out = Protocol::MSI;
+        return true;
+    }
+    if (lower == "mesi") {
+        out = Protocol::MESI;
+        return true;
+    }
+    if (lower == "moesi") {
+        out = Protocol::MOESI;
+        return true;
+    }
+    return false;
+}
+
+const ProtocolPolicy &
+protocolPolicy(Protocol p)
+{
+    static const MsiPolicy msi;
+    static const MesiPolicy mesi;
+    static const MoesiPolicy moesi;
+    switch (p) {
+      case Protocol::MSI: return msi;
+      case Protocol::MESI: return mesi;
+      case Protocol::MOESI: return moesi;
+    }
+    ccsvm_panic("unknown protocol %d", static_cast<int>(p));
+}
+
+} // namespace ccsvm::coherence

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pluggable coherence-protocol policy layer.
+ *
+ * The paper evaluates "a standard, unoptimized MOESI directory
+ * protocol" (Sec. 3.2.2), but protocol choice is a design axis for
+ * heterogeneous chips: whether a sole-copy read fill is granted
+ * Exclusive, and whether a dirty owner may keep its block on a read
+ * (Owned) or must make the home copy clean, change the upgrade and
+ * writeback traffic every workload generates. This file factors those
+ * decisions out of the L1 and directory controllers into a
+ * ProtocolPolicy that both consult, with one concrete policy per
+ * protocol:
+ *
+ *   MOESI  E and O states; dirty owners keep the block on a read
+ *          (default; matches the paper and the seed tree exactly)
+ *   MESI   E but no O; a read of a dirty block writes it back to the
+ *          home so the line becomes clean-shared
+ *   MSI    neither E nor O; every read fill is Shared, so a private
+ *          read-then-write always pays an explicit upgrade
+ *
+ * The state machines share all structural transitions (MSHRs, victim
+ * buffers, recalls, blocking directory); only the decision points
+ * below differ, so the policies are small and exhaustively testable.
+ */
+
+#ifndef CCSVM_COHERENCE_PROTOCOL_HH
+#define CCSVM_COHERENCE_PROTOCOL_HH
+
+#include <string_view>
+
+#include "coherence/msgs.hh"
+#include "coherence/types.hh"
+
+namespace ccsvm::coherence
+{
+
+/** Selectable coherence protocols, ordered weakest to strongest. */
+enum class Protocol : std::uint8_t
+{
+    MSI,
+    MESI,
+    MOESI,
+};
+
+/** Lower-case protocol name ("msi", "mesi", "moesi"). */
+const char *protocolName(Protocol p);
+
+/** Parse a protocol name (case-insensitive); false on unknown. */
+bool protocolFromName(std::string_view name, Protocol &out);
+
+/**
+ * The protocol-specific transition decisions, consulted by the L1
+ * controllers and the directory banks. Policies are stateless;
+ * protocolPolicy() hands out one shared instance per protocol.
+ */
+class ProtocolPolicy
+{
+  public:
+    virtual ~ProtocolPolicy() = default;
+
+    virtual Protocol kind() const = 0;
+
+    /** The E state exists: a sole-copy read fill is granted
+     * Exclusive, and a later private write upgrades silently. */
+    virtual bool hasExclusiveState() const = 0;
+
+    /** The O state exists: a dirty owner answering a read keeps the
+     * block (dirty sharing) instead of making the home copy clean. */
+    virtual bool allowsDirtySharing() const = 0;
+
+    const char *name() const { return protocolName(kind()); }
+
+    /** Directory: response type for a read fill when no other cache
+     * holds the block (DataE with an E state, else DataS). */
+    MsgType
+    soleCopyFill() const
+    {
+        return hasExclusiveState() ? MsgType::DataE : MsgType::DataS;
+    }
+
+    /** L1 owner: next state after supplying data for a FwdGetS from
+     * stable state @p current (one of E/M/O). */
+    CohState
+    ownerStateOnFwdGetS(CohState current) const
+    {
+        if (allowsDirtySharing() && current != CohState::E)
+            return CohState::O;
+        return CohState::S;
+    }
+
+    /** L1 requestor: a GetS answered with dirty data must carry that
+     * data home on the Unblock so the directory copy becomes clean
+     * (protocols without O cannot leave the line dirty-shared). */
+    bool
+    unblockCarriesDirtyData() const
+    {
+        return !allowsDirtySharing();
+    }
+};
+
+/** Shared immutable policy instance for @p p. */
+const ProtocolPolicy &protocolPolicy(Protocol p);
+
+} // namespace ccsvm::coherence
+
+#endif // CCSVM_COHERENCE_PROTOCOL_HH

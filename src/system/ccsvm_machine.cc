@@ -11,6 +11,11 @@ namespace ccsvm::system
 CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     : cfg_(std::move(cfg)), phys_(cfg_.physMemBytes)
 {
+    // One protocol spans every controller on the chip.
+    cfg_.cpuL1.protocol = cfg_.protocol;
+    cfg_.mttopL1.protocol = cfg_.protocol;
+    cfg_.l2.protocol = cfg_.protocol;
+
     dram_ = std::make_unique<mem::DramCtrl>(eq_, stats_, "dram",
                                             cfg_.dram);
 

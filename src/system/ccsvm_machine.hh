@@ -5,10 +5,12 @@
  *
  * 4 in-order CPU cores (2.9 GHz, IPC 0.5) + 10 MTTOP cores (600 MHz,
  * 128 threads each, 8 ops/cycle) + 4 banked inclusive-L2/directory
- * slices + the MIFD, all on a 2D torus with 12 GB/s links; one MOESI
- * protocol spans every core, one virtual address space per process
- * spans CPU and MTTOP threads, and the whole chip is sequentially
- * consistent (no write buffers, one memory op per thread).
+ * slices + the MIFD, all on a 2D torus with 12 GB/s links; one
+ * coherence protocol (MOESI by default; MSI/MESI selectable via
+ * CcsvmConfig::protocol) spans every core, one virtual address space
+ * per process spans CPU and MTTOP threads, and the whole chip is
+ * sequentially consistent (no write buffers, one memory op per
+ * thread).
  */
 
 #ifndef CCSVM_SYSTEM_CCSVM_MACHINE_HH
@@ -43,6 +45,11 @@ struct CcsvmConfig
     int numCpuCores = 4;
     int numMttopCores = 10;
     int numL2Banks = 4;
+
+    /** Coherence protocol for the whole chip; one protocol spans
+     * every L1 and directory bank, so this overrides the per-cache
+     * settings in cpuL1/mttopL1/l2 (paper default: MOESI). */
+    coherence::Protocol protocol = coherence::Protocol::MOESI;
 
     core::CpuCoreConfig cpu;
     core::MttopCoreConfig mttop;
@@ -105,6 +112,7 @@ class CcsvmMachine : public runtime::FunctionalMem
 
     int numCpuCores() const { return cfg_.numCpuCores; }
     int numMttopCores() const { return cfg_.numMttopCores; }
+    coherence::Protocol protocol() const { return cfg_.protocol; }
     core::CpuCore &cpuCore(int i) { return *cpuCores_[i]; }
     core::MttopCore &mttopCore(int i) { return *mttopCores_[i]; }
 

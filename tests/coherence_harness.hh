@@ -43,10 +43,15 @@ struct CohHarness
      * @param num_banks  number of L2/directory banks
      * @param l1_cfg     L1 geometry/timing
      * @param dir_cfg    L2 bank geometry/timing
+     * @param proto      coherence protocol for every controller
+     *                   (overrides the config structs' setting)
      */
     CohHarness(int num_l1s, int num_banks, L1Config l1_cfg = {},
-               DirConfig dir_cfg = {})
+               DirConfig dir_cfg = {},
+               Protocol proto = Protocol::MOESI)
     {
+        l1_cfg.protocol = proto;
+        dir_cfg.protocol = proto;
         mem::DramConfig dram_cfg;
         dram = std::make_unique<mem::DramCtrl>(eq, stats, "dram",
                                                dram_cfg);

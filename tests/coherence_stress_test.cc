@@ -24,6 +24,7 @@
 
 #include "base/random.hh"
 #include "coherence_harness.hh"
+#include "protocol_env.hh"
 
 namespace ccsvm::test
 {
@@ -37,6 +38,7 @@ struct StressParams
     int addrPool;   ///< number of hot addresses
     int opsPerL1;
     std::uint64_t seed;
+    Protocol proto = Protocol::MOESI;
 };
 
 class CoherenceStress : public ::testing::TestWithParam<StressParams>
@@ -53,7 +55,7 @@ TEST_P(CoherenceStress, MonotonicWritersNoLostUpdates)
     DirConfig dcfg;
     dcfg.bankSizeBytes = 2048;
     dcfg.assoc = 2;
-    CohHarness h(p.numL1s, p.numBanks, l1cfg, dcfg);
+    CohHarness h(p.numL1s, p.numBanks, l1cfg, dcfg, p.proto);
     Random rng(p.seed);
 
     std::vector<Addr> pool;
@@ -126,7 +128,7 @@ TEST_P(CoherenceStress, AtomicTicketsAreUniqueAndComplete)
     DirConfig dcfg;
     dcfg.bankSizeBytes = 2048;
     dcfg.assoc = 2;
-    CohHarness h(p.numL1s, p.numBanks, l1cfg, dcfg);
+    CohHarness h(p.numL1s, p.numBanks, l1cfg, dcfg, p.proto);
     Random rng(p.seed ^ 0xabcdef);
 
     constexpr int num_counters = 4;
@@ -165,18 +167,36 @@ TEST_P(CoherenceStress, AtomicTicketsAreUniqueAndComplete)
     }
 }
 
+/** The geometry sweep crossed with every protocol under test: the
+ * tiny caches force constant evictions, recalls and races, which is
+ * exactly where the per-protocol transition decisions can go wrong. */
+std::vector<StressParams>
+stressParams()
+{
+    static constexpr StressParams base[] = {
+        {2, 1, 8, 300, 1, Protocol::MOESI},
+        {4, 2, 16, 300, 2, Protocol::MOESI},
+        {8, 4, 24, 250, 3, Protocol::MOESI},
+        {14, 4, 32, 200, 4, Protocol::MOESI}, // paper: 4 CPU + 10 MTTOP
+        {4, 1, 4, 400, 5, Protocol::MOESI},   // heavy same-block contention
+        {8, 2, 64, 150, 6, Protocol::MOESI},  // wide footprint, recalls
+    };
+    std::vector<StressParams> out;
+    for (const auto proto : testProtocols()) {
+        for (StressParams p : base) {
+            p.proto = proto;
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, CoherenceStress,
-    ::testing::Values(
-        StressParams{2, 1, 8, 300, 1},
-        StressParams{4, 2, 16, 300, 2},
-        StressParams{8, 4, 24, 250, 3},
-        StressParams{14, 4, 32, 200, 4},  // paper chip: 4 CPU + 10 MTTOP
-        StressParams{4, 1, 4, 400, 5},    // heavy same-block contention
-        StressParams{8, 2, 64, 150, 6}),  // wide footprint, recalls
+    Sweep, CoherenceStress, ::testing::ValuesIn(stressParams()),
     [](const ::testing::TestParamInfo<StressParams> &info) {
         const auto &p = info.param;
-        return "l1x" + std::to_string(p.numL1s) + "_banks" +
+        return std::string(protocolName(p.proto)) + "_l1x" +
+               std::to_string(p.numL1s) + "_banks" +
                std::to_string(p.numBanks) + "_pool" +
                std::to_string(p.addrPool) + "_seed" +
                std::to_string(p.seed);

@@ -1,25 +1,59 @@
 /**
  * @file
- * MOESI directory protocol unit tests: every stable-state transition
- * the paper's protocol needs, plus eviction, recall and upgrade paths.
+ * Directory protocol unit tests, value-parametrized over the three
+ * coherence protocols (msi, mesi, moesi): every stable-state
+ * transition plus eviction, recall and upgrade paths. Expectations
+ * that depend on the protocol (E fills, Owned dirty sharing,
+ * writeback-on-read) branch on the policy's capability bits; the
+ * moesi instantiation asserts exactly the seed tree's behavior.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "coherence_harness.hh"
+#include "protocol_env.hh"
 
 namespace ccsvm::test
 {
 namespace
 {
 
-TEST(Coherence, ColdReadReturnsMemoryValueAndGrantsE)
+class CoherenceP : public ::testing::TestWithParam<Protocol>
 {
-    CohHarness h(2, 2);
+  protected:
+    Protocol proto() const { return GetParam(); }
+
+    /** E state: sole-copy read fills are granted Exclusive. */
+    bool
+    hasE() const
+    {
+        return protocolPolicy(proto()).hasExclusiveState();
+    }
+
+    /** O state: a dirty owner keeps its block on a read. */
+    bool
+    hasO() const
+    {
+        return protocolPolicy(proto()).allowsDirtySharing();
+    }
+
+    /** Expected L1 state after a sole-copy read fill. */
+    CohState
+    soleReadState() const
+    {
+        return hasE() ? CohState::E : CohState::S;
+    }
+};
+
+TEST_P(CoherenceP, ColdReadReturnsMemoryValueAndGrantsBestState)
+{
+    CohHarness h(2, 2, {}, {}, proto());
     h.phys.writeScalar(0x1000, 0xfeedbeef, 8);
     EXPECT_EQ(h.load(0, 0x1000), 0xfeedbeefu);
-    // Sole cached copy: MOESI grants Exclusive.
-    EXPECT_EQ(h.stateAt(0, 0x1000), CohState::E);
+    // Sole cached copy: MESI/MOESI grant Exclusive, MSI only Shared.
+    EXPECT_EQ(h.stateAt(0, 0x1000), soleReadState());
 
     h.drain(); // let the Unblock reach the directory
     DirState st;
@@ -27,14 +61,20 @@ TEST(Coherence, ColdReadReturnsMemoryValueAndGrantsE)
     unsigned sharers;
     Directory &bank = *h.banks[(0x1000 >> 6) % 2];
     ASSERT_TRUE(bank.probe(0x1000, st, owner, sharers));
-    EXPECT_EQ(st, DirState::X);
-    EXPECT_EQ(owner, 0);
-    EXPECT_EQ(sharers, 0u);
+    if (hasE()) {
+        EXPECT_EQ(st, DirState::X);
+        EXPECT_EQ(owner, 0);
+        EXPECT_EQ(sharers, 0u);
+    } else {
+        EXPECT_EQ(st, DirState::S);
+        EXPECT_EQ(owner, noL1);
+        EXPECT_EQ(sharers, 1u);
+    }
 }
 
-TEST(Coherence, ReadHitAfterFillIsLocal)
+TEST_P(CoherenceP, ReadHitAfterFillIsLocal)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.load(0, 0x2000);
     const auto misses_before = h.stats.get("l1.0.misses");
     EXPECT_EQ(h.load(0, 0x2000), 0u);
@@ -42,22 +82,37 @@ TEST(Coherence, ReadHitAfterFillIsLocal)
     EXPECT_GE(h.stats.get("l1.0.hits"), 1u);
 }
 
-TEST(Coherence, StoreMakesMAndReadsBack)
+TEST_P(CoherenceP, StoreMakesMAndReadsBack)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0x3000, 0x1234);
     EXPECT_EQ(h.stateAt(0, 0x3000), CohState::M);
     EXPECT_EQ(h.load(0, 0x3000), 0x1234u);
 }
 
-TEST(Coherence, SecondReaderDowngradesEOwnerToS)
+TEST_P(CoherenceP, PrivateReadThenWriteUpgradeCost)
 {
-    CohHarness h(2, 2);
+    // With an E state a sole-copy read-then-write upgrades silently;
+    // without one (msi) the write must pay an explicit GetM.
+    CohHarness h(2, 2, {}, {}, proto());
+    h.load(0, 0x11000); // bank 0
+    h.drain();
+    const auto getm_before = h.stats.get("dir.0.getM");
+    h.store(0, 0x11000, 5);
+    EXPECT_EQ(h.stats.get("dir.0.getM") - getm_before,
+              hasE() ? 0u : 1u);
+    EXPECT_EQ(h.stateAt(0, 0x11000), CohState::M);
+    EXPECT_EQ(h.load(0, 0x11000), 5u);
+}
+
+TEST_P(CoherenceP, SecondReaderLeavesBothSharersInS)
+{
+    CohHarness h(2, 2, {}, {}, proto());
     h.phys.writeScalar(0x4000, 77, 8);
     h.load(0, 0x4000);
-    EXPECT_EQ(h.stateAt(0, 0x4000), CohState::E);
+    EXPECT_EQ(h.stateAt(0, 0x4000), soleReadState());
     EXPECT_EQ(h.load(1, 0x4000), 77u);
-    // Clean owner downgrades to S; both become sharers.
+    // A clean owner downgrades to S; both end up sharers.
     EXPECT_EQ(h.stateAt(0, 0x4000), CohState::S);
     EXPECT_EQ(h.stateAt(1, 0x4000), CohState::S);
 
@@ -70,13 +125,11 @@ TEST(Coherence, SecondReaderDowngradesEOwnerToS)
     EXPECT_EQ(sharers, 2u);
 }
 
-TEST(Coherence, ReaderOfDirtyBlockLeavesOwnerInO)
+TEST_P(CoherenceP, ReaderOfDirtyBlockFollowsOwnedPolicy)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0x5000, 42);
     EXPECT_EQ(h.load(1, 0x5000), 42u);
-    // MOESI: dirty owner keeps the block in Owned.
-    EXPECT_EQ(h.stateAt(0, 0x5000), CohState::O);
     EXPECT_EQ(h.stateAt(1, 0x5000), CohState::S);
 
     h.drain();
@@ -84,14 +137,33 @@ TEST(Coherence, ReaderOfDirtyBlockLeavesOwnerInO)
     L1Id owner;
     unsigned sharers;
     ASSERT_TRUE(h.banks[0]->probe(0x5000, st, owner, sharers));
-    EXPECT_EQ(st, DirState::O);
-    EXPECT_EQ(owner, 0);
-    EXPECT_EQ(sharers, 1u);
+    if (hasO()) {
+        // MOESI: the dirty owner keeps the block in Owned.
+        EXPECT_EQ(h.stateAt(0, 0x5000), CohState::O);
+        EXPECT_EQ(st, DirState::O);
+        EXPECT_EQ(owner, 0);
+        EXPECT_EQ(sharers, 1u);
+        EXPECT_EQ(h.stats.get("dir.0.sharingWb"), 0u);
+    } else {
+        // msi/mesi: the dirty data came home on the Unblock and the
+        // line is clean-shared by both L1s.
+        EXPECT_EQ(h.stateAt(0, 0x5000), CohState::S);
+        EXPECT_EQ(st, DirState::S);
+        EXPECT_EQ(owner, noL1);
+        EXPECT_EQ(sharers, 2u);
+        EXPECT_EQ(h.stats.get("dir.0.sharingWb"), 1u);
+        // The home copy must now hold the written value.
+        std::uint8_t buf[mem::blockBytes];
+        ASSERT_TRUE(h.banks[0]->funcReadBlock(0x5000, buf));
+        std::uint64_t v = 0;
+        std::memcpy(&v, buf, 8);
+        EXPECT_EQ(v, 42u);
+    }
 }
 
-TEST(Coherence, WriteInvalidatesAllSharers)
+TEST_P(CoherenceP, WriteInvalidatesAllSharers)
 {
-    CohHarness h(3, 2);
+    CohHarness h(3, 2, {}, {}, proto());
     h.phys.writeScalar(0x6000, 5, 8);
     h.load(0, 0x6000);
     h.load(1, 0x6000);
@@ -103,9 +175,9 @@ TEST(Coherence, WriteInvalidatesAllSharers)
     EXPECT_EQ(h.load(1, 0x6000), 99u);
 }
 
-TEST(Coherence, UpgradeFromSUsesDatalessGrant)
+TEST_P(CoherenceP, UpgradeFromSUsesDatalessGrant)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.load(0, 0x7000);
     h.load(1, 0x7000);
     // L1 0 already has the data; the grant carries no payload.
@@ -118,9 +190,9 @@ TEST(Coherence, UpgradeFromSUsesDatalessGrant)
     EXPECT_GE(h.stats.get("l1.0.upgrades"), 1u);
 }
 
-TEST(Coherence, OwnershipTransfersOnFwdGetM)
+TEST_P(CoherenceP, OwnershipTransfersOnFwdGetM)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0x8000, 10);
     h.store(1, 0x8000, 20);
     EXPECT_EQ(h.stateAt(0, 0x8000), CohState::I);
@@ -128,42 +200,44 @@ TEST(Coherence, OwnershipTransfersOnFwdGetM)
     EXPECT_EQ(h.load(0, 0x8000), 20u);
 }
 
-TEST(Coherence, OOwnerUpgradeInvalidatesSharers)
+TEST_P(CoherenceP, DirtySharedWriterUpgradeInvalidatesSharers)
 {
-    CohHarness h(3, 2);
+    CohHarness h(3, 2, {}, {}, proto());
     h.store(0, 0x9000, 1);
-    h.load(1, 0x9000); // 0 -> O, 1 -> S
+    h.load(1, 0x9000); // moesi: 0 -> O; msi/mesi: 0 -> S (wb home)
     h.load(2, 0x9000); // 2 -> S
-    ASSERT_EQ(h.stateAt(0, 0x9000), CohState::O);
-    h.store(0, 0x9000, 2); // O-owner upgrade: GrantM + 2 Invs
+    ASSERT_EQ(h.stateAt(0, 0x9000),
+              hasO() ? CohState::O : CohState::S);
+    h.store(0, 0x9000, 2); // upgrade: GrantM + Invs to the sharers
     EXPECT_EQ(h.stateAt(0, 0x9000), CohState::M);
     EXPECT_EQ(h.stateAt(1, 0x9000), CohState::I);
     EXPECT_EQ(h.stateAt(2, 0x9000), CohState::I);
     EXPECT_EQ(h.load(1, 0x9000), 2u);
 }
 
-TEST(Coherence, SparseWriterReaderPingPong)
+TEST_P(CoherenceP, SparseWriterReaderPingPong)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     for (std::uint64_t i = 1; i <= 20; ++i) {
         h.store(0, 0xa000, i);
         EXPECT_EQ(h.load(1, 0xa000), i);
     }
-    // Producer repeatedly upgrades from O; consumer re-fetches.
+    // Producer repeatedly upgrades; consumer re-fetches the dirty
+    // block from the owner every round.
     EXPECT_GE(h.stats.get("l1.0.fwds"), 19u);
 }
 
-TEST(Coherence, AtomicReturnsOldValue)
+TEST_P(CoherenceP, AtomicReturnsOldValue)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0xb000, 100);
     EXPECT_EQ(h.amo(1, 0xb000, AmoOp::Add, 5), 100u);
     EXPECT_EQ(h.load(0, 0xb000), 105u);
 }
 
-TEST(Coherence, AtomicCasSuccessAndFailure)
+TEST_P(CoherenceP, AtomicCasSuccessAndFailure)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0xc000, 7);
     // Failed CAS: compare 9 != 7.
     EXPECT_EQ(h.amo(1, 0xc000, AmoOp::Cas, 9, 111), 7u);
@@ -173,9 +247,9 @@ TEST(Coherence, AtomicCasSuccessAndFailure)
     EXPECT_EQ(h.load(0, 0xc000), 111u);
 }
 
-TEST(Coherence, AtomicIncDecExchMinMax)
+TEST_P(CoherenceP, AtomicIncDecExchMinMax)
 {
-    CohHarness h(1, 1);
+    CohHarness h(1, 1, {}, {}, proto());
     h.store(0, 0xd000, 10);
     EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Inc), 10u);
     EXPECT_EQ(h.amo(0, 0xd000, AmoOp::Dec), 11u);
@@ -185,13 +259,13 @@ TEST(Coherence, AtomicIncDecExchMinMax)
     EXPECT_EQ(h.load(0, 0xd000), 70u);
 }
 
-TEST(Coherence, InterleavedAtomicsFromAllL1sSumExactly)
+TEST_P(CoherenceP, InterleavedAtomicsFromAllL1sSumExactly)
 {
     // The classic coherence smoke test: concurrent atomic increments
     // must never lose an update. Each L1 keeps one atomic in flight.
     constexpr int num_l1s = 4;
     constexpr int per_l1 = 50;
-    CohHarness h(num_l1s, 2);
+    CohHarness h(num_l1s, 2, {}, {}, proto());
     int completed = 0;
 
     std::function<void(int, int)> kick = [&](int id, int remaining) {
@@ -212,9 +286,9 @@ TEST(Coherence, InterleavedAtomicsFromAllL1sSumExactly)
               static_cast<std::uint64_t>(num_l1s * per_l1));
 }
 
-TEST(Coherence, MshrCoalescesSameBlockReads)
+TEST_P(CoherenceP, MshrCoalescesSameBlockReads)
 {
-    CohHarness h(1, 1);
+    CohHarness h(1, 1, {}, {}, proto());
     int done = 0;
     h.issue(0, MemRequest::Kind::Read, 0xf000, 0,
             [&](std::uint64_t) { ++done; });
@@ -229,9 +303,9 @@ TEST(Coherence, MshrCoalescesSameBlockReads)
               1u);
 }
 
-TEST(Coherence, CoalescedStoreBehindReadUpgrades)
+TEST_P(CoherenceP, CoalescedStoreBehindReadUpgrades)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     // Make the block shared so the GetS grants S (not E).
     h.phys.writeScalar(0x10000, 3, 8);
     h.load(1, 0x10000);
@@ -252,11 +326,11 @@ TEST(Coherence, CoalescedStoreBehindReadUpgrades)
     EXPECT_EQ(h.load(1, 0x10000), 9u);
 }
 
-TEST(Coherence, MshrOverflowQueuesAndDrains)
+TEST_P(CoherenceP, MshrOverflowQueuesAndDrains)
 {
     L1Config cfg;
     cfg.maxMshrs = 1;
-    CohHarness h(1, 1, cfg);
+    CohHarness h(1, 1, cfg, {}, proto());
     int done = 0;
     for (Addr a = 0; a < 8; ++a)
         h.issue(0, MemRequest::Kind::Read, 0x20000 + a * 64, 0,
@@ -265,13 +339,13 @@ TEST(Coherence, MshrOverflowQueuesAndDrains)
     EXPECT_EQ(done, 8);
 }
 
-TEST(Coherence, L1EvictionWritesBackThroughPutOwned)
+TEST_P(CoherenceP, L1EvictionWritesBackThroughPutOwned)
 {
     // L1 with 2 sets x 4 ways x 64B = 512B; fill one set over assoc.
     L1Config cfg;
     cfg.sizeBytes = 512;
     cfg.assoc = 4;
-    CohHarness h(2, 1, cfg);
+    CohHarness h(2, 1, cfg, {}, proto());
     // Blocks mapping to set 0 of a 2-set cache: stride 128.
     for (int i = 0; i < 6; ++i)
         h.store(0, 0x30000 + static_cast<Addr>(i) * 128,
@@ -285,13 +359,13 @@ TEST(Coherence, L1EvictionWritesBackThroughPutOwned)
     }
 }
 
-TEST(Coherence, CleanEvictionDoesNotCarryData)
+TEST_P(CoherenceP, CleanEvictionDoesNotCarryData)
 {
     L1Config cfg;
     cfg.sizeBytes = 512;
     cfg.assoc = 4;
-    CohHarness h(1, 1, cfg);
-    // Read-only misses -> E fills -> clean PutOwned on eviction.
+    CohHarness h(1, 1, cfg, {}, proto());
+    // Read-only misses fill clean (E or S); evictions write nothing.
     for (int i = 0; i < 8; ++i)
         h.load(0, 0x40000 + static_cast<Addr>(i) * 128);
     h.drain();
@@ -299,13 +373,13 @@ TEST(Coherence, CleanEvictionDoesNotCarryData)
     EXPECT_EQ(h.stats.get("dir.0.writebacks"), 0u);
 }
 
-TEST(Coherence, InclusiveL2EvictionRecallsL1Copies)
+TEST_P(CoherenceP, InclusiveL2EvictionRecallsL1Copies)
 {
     // Tiny L2: 2 sets x 2 ways; L1 large enough to hold everything.
     DirConfig dcfg;
     dcfg.bankSizeBytes = 256;
     dcfg.assoc = 2;
-    CohHarness h(2, 1, {}, dcfg);
+    CohHarness h(2, 1, {}, dcfg, proto());
     // Touch more blocks than the L2 can hold; all map through one bank.
     std::vector<Addr> addrs;
     for (int i = 0; i < 8; ++i)
@@ -320,12 +394,12 @@ TEST(Coherence, InclusiveL2EvictionRecallsL1Copies)
         EXPECT_EQ(h.load(1, addrs[i]), 7000u + i);
 }
 
-TEST(Coherence, RecallOfSharedCleanBlockNeedsNoWriteback)
+TEST_P(CoherenceP, RecallOfSharedCleanBlockNeedsNoWriteback)
 {
     DirConfig dcfg;
     dcfg.bankSizeBytes = 256;
     dcfg.assoc = 2;
-    CohHarness h(2, 1, {}, dcfg);
+    CohHarness h(2, 1, {}, dcfg, proto());
     h.phys.writeScalar(0x60000, 11, 8);
     h.load(0, 0x60000);
     h.load(1, 0x60000); // shared clean
@@ -341,9 +415,9 @@ TEST(Coherence, RecallOfSharedCleanBlockNeedsNoWriteback)
     EXPECT_EQ(h.load(1, 0x60000), 11u);
 }
 
-TEST(Coherence, DistinctBanksServeDistinctBlocks)
+TEST_P(CoherenceP, DistinctBanksServeDistinctBlocks)
 {
-    CohHarness h(2, 4);
+    CohHarness h(2, 4, {}, {}, proto());
     for (int i = 0; i < 8; ++i)
         h.store(0, 0x70000 + static_cast<Addr>(i) * 64,
                 static_cast<Addr>(i));
@@ -359,9 +433,9 @@ TEST(Coherence, DistinctBanksServeDistinctBlocks)
     EXPECT_EQ(active_banks, 4u);
 }
 
-TEST(Coherence, ByteAndWordAccessesWithinABlock)
+TEST_P(CoherenceP, ByteAndWordAccessesWithinABlock)
 {
-    CohHarness h(1, 1);
+    CohHarness h(1, 1, {}, {}, proto());
     h.store(0, 0x80000, 0x11, 1);
     h.store(0, 0x80001, 0x22, 1);
     h.store(0, 0x80002, 0x3344, 2);
@@ -376,9 +450,9 @@ TEST(Coherence, ByteAndWordAccessesWithinABlock)
     EXPECT_EQ(h.load(0, 0x80000, 8), whole);
 }
 
-TEST(Coherence, MonitorSeesSingleWriter)
+TEST_P(CoherenceP, MonitorSeesSingleWriter)
 {
-    CohHarness h(2, 2);
+    CohHarness h(2, 2, {}, {}, proto());
     h.store(0, 0x90000, 1);
     EXPECT_EQ(h.monitor.holders(0x90000), 1u);
     h.load(1, 0x90000);
@@ -386,6 +460,10 @@ TEST(Coherence, MonitorSeesSingleWriter)
     h.store(1, 0x90000, 2);
     EXPECT_EQ(h.monitor.holders(0x90000), 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CoherenceP,
+                         ::testing::ValuesIn(testProtocols()),
+                         ProtocolParamName{});
 
 } // namespace
 } // namespace ccsvm::test

@@ -8,16 +8,20 @@
  * litmus shapes — store buffering (SB), message passing (MP), load
  * buffering (LB), coherent read-read (CoRR), and IRIW — many times
  * with randomized per-thread start delays, across CPU/CPU, CPU/MTTOP
- * and MTTOP/MTTOP thread placements, and assert that the outcomes
- * forbidden under SC never occur. Any store buffer, stale-data
- * window, or write-atomicity leak in the protocol shows up here.
+ * and MTTOP/MTTOP thread placements — and across all three coherence
+ * protocols (msi, mesi, moesi), since SC must hold regardless of the
+ * protocol choice — and assert that the outcomes forbidden under SC
+ * never occur. Any store buffer, stale-data window, or
+ * write-atomicity leak in a protocol shows up here.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "base/random.hh"
+#include "protocol_env.hh"
 #include "runtime/xthreads.hh"
 #include "system/ccsvm_machine.hh"
 
@@ -47,10 +51,23 @@ enum class Place
     Mttop,
 };
 
+/** Machine config with the given coherence protocol. */
+CcsvmConfig
+machineConfig(coherence::Protocol proto)
+{
+    CcsvmConfig cfg;
+    cfg.protocol = proto;
+    return cfg;
+}
+
 class LitmusRunner
 {
   public:
-    LitmusRunner() : machine_(), proc_(&machine_.createProcess()) {}
+    explicit LitmusRunner(
+        coherence::Protocol proto = coherence::Protocol::MOESI)
+        : machine_(machineConfig(proto)),
+          proc_(&machine_.createProcess())
+    {}
 
     /**
      * Run the given role coroutines concurrently with random start
@@ -125,6 +142,7 @@ delayedStore(ThreadContext &ctx, unsigned delay, VAddr addr,
 
 struct LitmusParam
 {
+    coherence::Protocol proto;
     Place p0, p1;
     const char *name;
 };
@@ -132,12 +150,35 @@ struct LitmusParam
 class Litmus : public ::testing::TestWithParam<LitmusParam>
 {};
 
+/** All (protocol, placement) combinations, honoring the
+ * CCSVM_PROTOCOLS narrowing used by scripts/ci.sh. */
+std::vector<LitmusParam>
+litmusParams()
+{
+    struct Placement
+    {
+        Place p0, p1;
+        const char *name;
+    };
+    static constexpr Placement placements[] = {
+        {Place::Cpu, Place::Cpu, "cpu_cpu"},
+        {Place::Cpu, Place::Mttop, "cpu_mttop"},
+        {Place::Mttop, Place::Cpu, "mttop_cpu"},
+        {Place::Mttop, Place::Mttop, "mttop_mttop"},
+    };
+    std::vector<LitmusParam> out;
+    for (const auto proto : test::testProtocols())
+        for (const auto &pl : placements)
+            out.push_back({proto, pl.p0, pl.p1, pl.name});
+    return out;
+}
+
 TEST_P(Litmus, StoreBufferingForbiddenUnderSC)
 {
     // T0: x=1; r0=y.   T1: y=1; r1=x.   Forbidden: r0==0 && r1==0.
     const auto p = GetParam();
     Random rng(0x5b);
-    LitmusRunner runner;
+    LitmusRunner runner(p.proto);
     std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
     for (int iter = 0; iter < 60; ++iter) {
         auto regs = runner.run(
@@ -172,7 +213,7 @@ TEST_P(Litmus, MessagePassingForbiddenUnderSC)
     // Forbidden: r0==1 && r1==0.
     const auto p = GetParam();
     Random rng(0x3a);
-    LitmusRunner runner;
+    LitmusRunner runner(p.proto);
     int flag_seen = 0;
     for (int iter = 0; iter < 60; ++iter) {
         auto regs = runner.run(
@@ -206,7 +247,7 @@ TEST_P(Litmus, LoadBufferingForbiddenUnderSC)
     // T0: r0=x; y=1.   T1: r1=y; x=1.   Forbidden: r0==1 && r1==1.
     const auto p = GetParam();
     Random rng(0x1b);
-    LitmusRunner runner;
+    LitmusRunner runner(p.proto);
     for (int iter = 0; iter < 60; ++iter) {
         auto regs = runner.run(
             {[](ThreadContext &ctx,
@@ -237,7 +278,7 @@ TEST_P(Litmus, CoherentReadReadNeverGoesBackwards)
     // (and r0==1 && ... is fine; values may only move forward).
     const auto p = GetParam();
     Random rng(0xc0);
-    LitmusRunner runner;
+    LitmusRunner runner(p.proto);
     for (int iter = 0; iter < 60; ++iter) {
         auto regs = runner.run(
             {[](ThreadContext &ctx,
@@ -264,25 +305,25 @@ TEST_P(Litmus, CoherentReadReadNeverGoesBackwards)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Placements, Litmus,
-    ::testing::Values(LitmusParam{Place::Cpu, Place::Cpu, "cpu_cpu"},
-                      LitmusParam{Place::Cpu, Place::Mttop,
-                                  "cpu_mttop"},
-                      LitmusParam{Place::Mttop, Place::Cpu,
-                                  "mttop_cpu"},
-                      LitmusParam{Place::Mttop, Place::Mttop,
-                                  "mttop_mttop"}),
+    ProtocolsByPlacement, Litmus,
+    ::testing::ValuesIn(litmusParams()),
     [](const ::testing::TestParamInfo<LitmusParam> &info) {
-        return info.param.name;
+        return std::string(coherence::protocolName(
+                   info.param.proto)) +
+               "_" + info.param.name;
     });
 
-TEST(LitmusIriw, WriteAtomicityAcrossFourObservers)
+class LitmusIriw
+    : public ::testing::TestWithParam<coherence::Protocol>
+{};
+
+TEST_P(LitmusIriw, WriteAtomicityAcrossFourObservers)
 {
     // T0: x=1.  T1: y=1.  T2: r0=x; r1=y.  T3: r2=y; r3=x.
     // Forbidden under SC: r0==1 && r1==0 && r2==1 && r3==0
     // (the two observers disagree on the order of the writes).
     Random rng(0x124);
-    LitmusRunner runner;
+    LitmusRunner runner(GetParam());
     for (int iter = 0; iter < 60; ++iter) {
         // Mix placements: writers on CPU+MTTOP, readers on both too.
         auto regs = runner.run(
@@ -322,6 +363,10 @@ TEST(LitmusIriw, WriteAtomicityAcrossFourObservers)
                "opposite orders, iteration " << iter;
     }
 }
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LitmusIriw,
+                         ::testing::ValuesIn(test::testProtocols()),
+                         test::ProtocolParamName{});
 
 } // namespace
 } // namespace ccsvm::system

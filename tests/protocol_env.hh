@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Protocol selection for value-parametrized test suites.
+ *
+ * By default every suite instantiates all three coherence protocols
+ * (msi, mesi, moesi). CCSVM_PROTOCOLS — a comma-separated list of
+ * protocol names — narrows the instantiation so CI can run an
+ * env-driven per-protocol loop (scripts/ci.sh) without rebuilding.
+ */
+
+#ifndef CCSVM_TESTS_PROTOCOL_ENV_HH
+#define CCSVM_TESTS_PROTOCOL_ENV_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "coherence/protocol.hh"
+
+namespace ccsvm::test
+{
+
+/** Protocols to instantiate, honoring CCSVM_PROTOCOLS. */
+inline std::vector<coherence::Protocol>
+testProtocols()
+{
+    const char *env = std::getenv("CCSVM_PROTOCOLS");
+    const std::string spec =
+        env && env[0] ? env : "msi,mesi,moesi";
+
+    std::vector<coherence::Protocol> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!tok.empty()) {
+            coherence::Protocol p;
+            ccsvm_assert(coherence::protocolFromName(tok, p),
+                         "CCSVM_PROTOCOLS: unknown protocol '%s'",
+                         tok.c_str());
+            out.push_back(p);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    ccsvm_assert(!out.empty(), "CCSVM_PROTOCOLS selected nothing");
+    return out;
+}
+
+/** gtest name generator: the protocol's lower-case name. */
+struct ProtocolParamName
+{
+    template <typename ParamType>
+    std::string
+    operator()(const ::testing::TestParamInfo<ParamType> &info) const
+    {
+        return coherence::protocolName(info.param);
+    }
+};
+
+} // namespace ccsvm::test
+
+#endif // CCSVM_TESTS_PROTOCOL_ENV_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Name round-trip tests for the protocol-wide enums: every CohState,
+ * DirState, MsgType and Protocol value must map to a unique,
+ * non-placeholder name, and Protocol names must parse back to the
+ * value they came from. Guards the stats/driver/bench surfaces that
+ * print these names against a silently-added unnamed enum value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "coherence/msgs.hh"
+#include "coherence/protocol.hh"
+#include "coherence/types.hh"
+
+namespace ccsvm::coherence
+{
+namespace
+{
+
+TEST(Types, CohStateNamesCoverEveryValue)
+{
+    const CohState all[] = {CohState::I, CohState::S, CohState::E,
+                            CohState::M, CohState::O};
+    std::set<std::string> seen;
+    for (const CohState s : all) {
+        const std::string name = cohStateName(s);
+        EXPECT_NE(name, "?") << "unnamed CohState "
+                             << static_cast<int>(s);
+        seen.insert(name);
+    }
+    EXPECT_EQ(seen.size(), std::size(all));
+    // The names are a public surface (asserts, test diagnostics).
+    EXPECT_STREQ(cohStateName(CohState::I), "I");
+    EXPECT_STREQ(cohStateName(CohState::S), "S");
+    EXPECT_STREQ(cohStateName(CohState::E), "E");
+    EXPECT_STREQ(cohStateName(CohState::M), "M");
+    EXPECT_STREQ(cohStateName(CohState::O), "O");
+}
+
+TEST(Types, DirStateNamesCoverEveryValue)
+{
+    const DirState all[] = {DirState::S, DirState::X, DirState::O};
+    std::set<std::string> seen;
+    for (const DirState s : all) {
+        const std::string name = dirStateName(s);
+        EXPECT_NE(name, "?") << "unnamed DirState "
+                             << static_cast<int>(s);
+        seen.insert(name);
+    }
+    EXPECT_EQ(seen.size(), std::size(all));
+    EXPECT_STREQ(dirStateName(DirState::S), "S");
+    EXPECT_STREQ(dirStateName(DirState::X), "X");
+    EXPECT_STREQ(dirStateName(DirState::O), "O");
+}
+
+TEST(Types, MsgTypeNamesCoverEveryValue)
+{
+    const MsgType all[] = {
+        MsgType::GetS,      MsgType::GetM,    MsgType::PutS,
+        MsgType::PutOwned,  MsgType::FwdGetS, MsgType::FwdGetM,
+        MsgType::Inv,       MsgType::Recall,  MsgType::DataS,
+        MsgType::DataE,     MsgType::DataM,   MsgType::GrantM,
+        MsgType::InvAck,    MsgType::PutAck,  MsgType::RecallAck,
+        MsgType::RecallData, MsgType::Unblock,
+    };
+    std::set<std::string> seen;
+    for (const MsgType t : all) {
+        const std::string name = msgTypeName(t);
+        EXPECT_NE(name, "?") << "unnamed MsgType "
+                             << static_cast<int>(t);
+        seen.insert(name);
+    }
+    EXPECT_EQ(seen.size(), std::size(all));
+}
+
+TEST(Types, ProtocolNamesRoundTrip)
+{
+    const Protocol all[] = {Protocol::MSI, Protocol::MESI,
+                            Protocol::MOESI};
+    std::set<std::string> seen;
+    for (const Protocol p : all) {
+        const std::string name = protocolName(p);
+        EXPECT_NE(name, "?");
+        seen.insert(name);
+
+        Protocol parsed;
+        ASSERT_TRUE(protocolFromName(name, parsed))
+            << "protocolName(" << name << ") does not parse back";
+        EXPECT_EQ(parsed, p);
+    }
+    EXPECT_EQ(seen.size(), std::size(all));
+}
+
+TEST(Types, ProtocolParseIsCaseInsensitiveAndRejectsUnknown)
+{
+    Protocol p;
+    ASSERT_TRUE(protocolFromName("MOESI", p));
+    EXPECT_EQ(p, Protocol::MOESI);
+    ASSERT_TRUE(protocolFromName("Mesi", p));
+    EXPECT_EQ(p, Protocol::MESI);
+
+    EXPECT_FALSE(protocolFromName("", p));
+    EXPECT_FALSE(protocolFromName("mosi", p));
+    EXPECT_FALSE(protocolFromName("moesi ", p));
+}
+
+TEST(Types, PolicyCapabilityMatrix)
+{
+    // The capability bits ARE the protocol definition; pin them.
+    const ProtocolPolicy &msi = protocolPolicy(Protocol::MSI);
+    const ProtocolPolicy &mesi = protocolPolicy(Protocol::MESI);
+    const ProtocolPolicy &moesi = protocolPolicy(Protocol::MOESI);
+
+    EXPECT_FALSE(msi.hasExclusiveState());
+    EXPECT_FALSE(msi.allowsDirtySharing());
+    EXPECT_TRUE(mesi.hasExclusiveState());
+    EXPECT_FALSE(mesi.allowsDirtySharing());
+    EXPECT_TRUE(moesi.hasExclusiveState());
+    EXPECT_TRUE(moesi.allowsDirtySharing());
+
+    EXPECT_EQ(msi.soleCopyFill(), MsgType::DataS);
+    EXPECT_EQ(mesi.soleCopyFill(), MsgType::DataE);
+    EXPECT_EQ(moesi.soleCopyFill(), MsgType::DataE);
+
+    // Owner transitions on a forwarded read.
+    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::E), CohState::S);
+    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::M), CohState::O);
+    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::O), CohState::O);
+    for (const auto &p2 : {&msi, &mesi}) {
+        EXPECT_EQ(p2->ownerStateOnFwdGetS(CohState::E), CohState::S);
+        EXPECT_EQ(p2->ownerStateOnFwdGetS(CohState::M), CohState::S);
+    }
+
+    EXPECT_TRUE(msi.unblockCarriesDirtyData());
+    EXPECT_TRUE(mesi.unblockCarriesDirtyData());
+    EXPECT_FALSE(moesi.unblockCarriesDirtyData());
+}
+
+} // namespace
+} // namespace ccsvm::coherence

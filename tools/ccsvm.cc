@@ -23,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "coherence/protocol.hh"
 #include "sim/stats.hh"
 #include "system/ccsvm_machine.hh"
 #include "workloads/workloads.hh"
@@ -47,9 +48,10 @@ struct DriverOptions
 };
 
 void
-usage(const char *argv0)
+usage(const char *argv0, std::FILE *out = stdout)
 {
-    std::printf(
+    std::fprintf(
+        out,
         "usage: %s [options]\n"
         "\n"
         "workload selection:\n"
@@ -63,6 +65,8 @@ usage(const char *argv0)
         "  --seed N            barneshut/spmm input seed\n"
         "\n"
         "machine configuration (defaults = paper Table 2):\n"
+        "  --protocol P        coherence protocol: msi | mesi | moesi "
+        "(default moesi)\n"
         "  --cpu-cores N       in-order CPU cores (default 4)\n"
         "  --mttop-cores N     MTTOP cores (default 10)\n"
         "  --mttop-contexts N  thread contexts per MTTOP core "
@@ -151,6 +155,14 @@ parseArgs(int argc, char **argv)
             const unsigned s = parseUnsigned("--seed", next(), true);
             o.bh.seed = s;
             o.spmm.seed = s;
+        } else if (arg == "--protocol") {
+            const char *v = next();
+            if (!coherence::protocolFromName(v, o.cfg.protocol)) {
+                std::fprintf(stderr,
+                             "ccsvm: --protocol wants msi, mesi or "
+                             "moesi, got '%s'\n", v);
+                std::exit(2);
+            }
         } else if (arg == "--cpu-cores") {
             o.cfg.numCpuCores =
                 static_cast<int>(parseUnsigned("--cpu-cores", next()));
@@ -185,9 +197,11 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--verbose") {
             o.verbose = true;
         } else {
-            std::fprintf(stderr, "ccsvm: unknown option '%s'\n",
-                         arg.c_str());
-            usage(argv[0]);
+            std::fprintf(stderr,
+                         "ccsvm: unknown option '%s' (run %s --help "
+                         "for the full flag list)\n",
+                         arg.c_str(), argv[0]);
+            usage(argv[0], stderr);
             std::exit(2);
         }
     }
@@ -232,7 +246,9 @@ writeJson(const DriverOptions &o, system::CcsvmMachine &m,
        << ", \"steps\": " << o.bh.steps
        << ", \"density\": " << sim::jsonNumber(o.spmm.density)
        << "},\n"
-       << "  \"machine\": {\"cpu_cores\": " << o.cfg.numCpuCores
+       << "  \"machine\": {\"protocol\": \""
+       << coherence::protocolName(o.cfg.protocol)
+       << "\", \"cpu_cores\": " << o.cfg.numCpuCores
        << ", \"mttop_cores\": " << o.cfg.numMttopCores
        << ", \"mttop_contexts\": " << o.cfg.mttop.numContexts
        << ", \"l2_banks\": " << o.cfg.numL2Banks
@@ -275,9 +291,11 @@ main(int argc, char **argv)
                       "off-chip DRAM transactions in the measured "
                       "region") += r.dramAccesses;
 
-    std::printf("ccsvm: workload=%s ticks=%llu sim_ms=%.3f "
-                "dram=%llu correct=%s\n",
-                o.workload.c_str(), (unsigned long long)r.ticks,
+    std::printf("ccsvm: workload=%s protocol=%s ticks=%llu "
+                "sim_ms=%.3f dram=%llu correct=%s\n",
+                o.workload.c_str(),
+                coherence::protocolName(o.cfg.protocol),
+                (unsigned long long)r.ticks,
                 static_cast<double>(r.ticks) /
                     static_cast<double>(tickMs),
                 (unsigned long long)r.dramAccesses,
