@@ -17,6 +17,7 @@
 
 #include "coherence/protocol.hh"
 #include "system/ccsvm_machine.hh"
+#include "system/coherence_stats.hh"
 
 namespace ccsvm::bench
 {
@@ -24,39 +25,11 @@ namespace
 {
 
 using coherence::Protocol;
+using system::dirtyWritebacks;
+using system::l1Invalidations;
 
 constexpr Protocol kProtocols[] = {Protocol::MSI, Protocol::MESI,
                                    Protocol::MOESI};
-
-/** Writebacks: off-chip dirty evictions plus dirty-read writebacks
- * at the home (the cost of having no Owned state). */
-std::uint64_t
-writebacks(system::CcsvmMachine &m)
-{
-    std::uint64_t total = 0;
-    for (int b = 0; ; ++b) {
-        const std::string bank = "dir" + std::to_string(b);
-        if (!m.stats().hasCounter(bank + ".writebacks"))
-            break;
-        total += m.stats().get(bank + ".writebacks");
-        total += m.stats().get(bank + ".sharingWb");
-    }
-    return total;
-}
-
-/** Invalidations received across every L1. */
-std::uint64_t
-invalidations(system::CcsvmMachine &m)
-{
-    std::uint64_t total = 0;
-    for (int i = 0; i < m.numCpuCores(); ++i)
-        total += m.stats().get("cpu" + std::to_string(i) +
-                               ".l1.invs");
-    for (int j = 0; j < m.numMttopCores(); ++j)
-        total += m.stats().get("mttop" + std::to_string(j) +
-                               ".l1.invs");
-    return total;
-}
 
 void
 recordRow(system::CcsvmMachine &m, const char *workload,
@@ -66,9 +39,9 @@ recordRow(system::CcsvmMachine &m, const char *workload,
     auto &table = FigureTable::instance();
     table.record(x, p + "_" + workload + "_ms", toMs(r.ticks));
     table.record(x, p + "_" + workload + "_wb",
-                 static_cast<double>(writebacks(m)));
+                 static_cast<double>(dirtyWritebacks(m)));
     table.record(x, p + "_" + workload + "_invs",
-                 static_cast<double>(invalidations(m)));
+                 static_cast<double>(l1Invalidations(m)));
 }
 
 void

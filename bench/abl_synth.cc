@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation A5: synthetic coherence patterns x protocol x MTTOP core
+ * count.
+ *
+ * The paper's applications exercise the protocol incidentally; the
+ * synth patterns (src/workloads/synth) stress one sharing idiom each,
+ * so this sweep is the table that actually separates MSI, MESI and
+ * MOESI. The thread count scales with the core count (one SIMD chunk
+ * of 8 per core) so every configuration spreads its sharers across
+ * all MTTOP L1s; each row reports runtime, writebacks (off-chip plus
+ * the dirty-read writebacks protocols without an O state pay) and L1
+ * invalidations. Expected shape: migratory writebacks MSI > MESI >>
+ * MOESI (~0); false-sharing invalidations >> padded; stream/ptrchase
+ * indifferent to the protocol.
+ */
+
+#include "bench_common.hh"
+
+#include "coherence/protocol.hh"
+#include "system/ccsvm_machine.hh"
+#include "system/coherence_stats.hh"
+#include "workloads/synth/synth.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+using coherence::Protocol;
+namespace synth = workloads::synth;
+
+constexpr Protocol kProtocols[] = {Protocol::MSI, Protocol::MESI,
+                                   Protocol::MOESI};
+/** Threads dispatched per MTTOP core (the MIFD's SIMD chunk). */
+constexpr unsigned kThreadsPerCore = 8;
+
+void
+BM_Synth(benchmark::State &state)
+{
+    const auto proto = kProtocols[state.range(0)];
+    const auto pat = synth::allPatterns[static_cast<std::size_t>(
+        state.range(1))];
+    const auto cores = static_cast<int>(state.range(2));
+
+    system::CcsvmConfig cfg;
+    cfg.protocol = proto;
+    cfg.numMttopCores = cores;
+    system::CcsvmMachine m(cfg);
+
+    synth::SynthParams p;
+    p.pattern = pat;
+    p.threads = kThreadsPerCore * static_cast<unsigned>(cores);
+    p.iters = 48;
+
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = synth::synthXthreads(m, p);
+    setCounters(state, r);
+
+    const std::string series =
+        std::string(coherence::protocolName(proto)) + "_" +
+        synth::patternName(pat);
+    auto &table = FigureTable::instance();
+    table.record(static_cast<std::uint64_t>(cores), series + "_ms",
+                 toMs(r.ticks));
+    table.record(static_cast<std::uint64_t>(cores), series + "_wb",
+                 static_cast<double>(system::dirtyWritebacks(m)));
+    table.record(static_cast<std::uint64_t>(cores), series + "_invs",
+                 static_cast<double>(system::l1Invalidations(m)));
+}
+
+void
+registerAll()
+{
+    std::vector<std::int64_t> core_counts = {2, 4};
+    if (largeSweeps())
+        core_counts.push_back(10);
+    for (std::int64_t pi = 0; pi < 3; ++pi) {
+        const char *pname = coherence::protocolName(kProtocols[pi]);
+        for (std::size_t pat = 0; pat < synth::allPatterns.size();
+             ++pat) {
+            for (const std::int64_t cores : core_counts) {
+                benchmark::RegisterBenchmark(
+                    ("abl_synth/" +
+                     std::string(synth::patternName(
+                         synth::allPatterns[pat])) +
+                     "_" + pname)
+                        .c_str(),
+                    BM_Synth)
+                    ->Args({pi, static_cast<std::int64_t>(pat),
+                            cores})
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Ablation A5: synthetic coherence patterns (runtime ms, "
+    "writebacks incl. dirty-read WBs, L1 invalidations; per "
+    "pattern, protocol and MTTOP core count)",
+    "mttop_cores")

@@ -1,0 +1,62 @@
+# Test script: the driver's workload dispatch is registry-driven.
+#
+#   - --list-workloads exits 0 and names every paper workload and
+#     every synth pattern
+#   - an unknown --workload exits 2 and its error lists the registry
+#     names (so the message cannot drift from the dispatch)
+#   - a workload-parameter flag the selected workload ignores warns
+#     on stderr but still runs
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -P CheckWorkloadRegistry.cmake
+
+if(NOT CCSVM_DRIVER)
+  message(FATAL_ERROR "CCSVM_DRIVER is required")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --list-workloads
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-workloads exited ${rc}: ${err}")
+endif()
+foreach(name IN ITEMS matmul apsp barneshut spmm synth:padded
+                      synth:false synth:hot synth:migratory
+                      synth:prodcons synth:stream synth:ptrchase
+                      synth:readmostly)
+  if(NOT out MATCHES "${name}")
+    message(FATAL_ERROR "--list-workloads is missing '${name}':\n"
+                        "${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --workload definitely-not-a-workload
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown workload exited ${rc}, want 2")
+endif()
+if(NOT err MATCHES "unknown workload" OR
+   NOT err MATCHES "synth:migratory")
+  message(FATAL_ERROR "unknown-workload error does not list the "
+                      "registry names:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --workload synth:padded --iters 4
+          --density 0.5
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run with ignored flag exited ${rc}: ${err}")
+endif()
+if(NOT err MATCHES "warning: --density is ignored")
+  message(FATAL_ERROR "expected an ignored-flag warning for "
+                      "--density, got:\n${err}")
+endif()
+
+message(STATUS "workload registry checks ok")

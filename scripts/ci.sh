@@ -29,3 +29,21 @@ done
 
 # Full pass: every suite (including the long label), all protocols.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Synth smoke loop: every synthetic coherence pattern, tiny
+# iteration counts, all protocols. The pattern list comes from the
+# driver's own registry (--list-workloads), so this loop cannot
+# drift when a pattern is added or renamed.
+SYNTH_PATTERNS=$("$BUILD_DIR"/tools/ccsvm --list-workloads |
+    awk '$1 ~ /^synth:/ { print $1 }')
+[[ -n $SYNTH_PATTERNS ]] || {
+    echo "ci.sh: --list-workloads returned no synth patterns" >&2
+    exit 1
+}
+for pattern in $SYNTH_PATTERNS; do
+    for proto in msi mesi moesi; do
+        echo "=== synth smoke: $pattern protocol=$proto ==="
+        "$BUILD_DIR"/tools/ccsvm --workload "$pattern" --iters 8 \
+            --protocol "$proto"
+    done
+done

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared aggregations over a machine's coherence counters, used by
+ * the protocol/synth ablation benches and the synth tests alike so
+ * the definition of "writebacks" and "invalidations" cannot drift
+ * between them.
+ */
+
+#ifndef CCSVM_SYSTEM_COHERENCE_STATS_HH
+#define CCSVM_SYSTEM_COHERENCE_STATS_HH
+
+#include <string>
+
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::system
+{
+
+/** Writebacks: off-chip dirty evictions plus the dirty-read
+ * writebacks at the home that protocols without an Owned state pay
+ * (dirN.writebacks + dirN.sharingWb over every directory bank). */
+inline std::uint64_t
+dirtyWritebacks(CcsvmMachine &m)
+{
+    std::uint64_t total = 0;
+    for (int b = 0; ; ++b) {
+        const std::string bank = "dir" + std::to_string(b);
+        if (!m.stats().hasCounter(bank + ".writebacks"))
+            break;
+        total += m.stats().get(bank + ".writebacks");
+        total += m.stats().get(bank + ".sharingWb");
+    }
+    return total;
+}
+
+/** Invalidations received across every CPU and MTTOP L1. */
+inline std::uint64_t
+l1Invalidations(CcsvmMachine &m)
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < m.numCpuCores(); ++i)
+        total += m.stats().get("cpu" + std::to_string(i) +
+                               ".l1.invs");
+    for (int j = 0; j < m.numMttopCores(); ++j)
+        total += m.stats().get("mttop" + std::to_string(j) +
+                               ".l1.invs");
+    return total;
+}
+
+} // namespace ccsvm::system
+
+#endif // CCSVM_SYSTEM_COHERENCE_STATS_HH

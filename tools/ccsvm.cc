@@ -8,7 +8,16 @@
  *
  *   ccsvm --workload matmul --n 32 --json out.json
  *   ccsvm --workload barneshut --bodies 128 --steps 2 --stats
- *   ccsvm --workload apsp --n 48 --mttop-cores 4 --cpu-l1-kb 32
+ *   ccsvm --workload synth:migratory --iters 64 --synth-threads 8
+ *   ccsvm --list-workloads
+ *
+ * Workloads come from the workload registry
+ * (src/workloads/registry.hh): the paper's four applications plus the
+ * synthetic coherence-traffic patterns (synth:*). The usage text, the
+ * unknown-workload error and --list-workloads all enumerate the
+ * registry, and a workload-parameter flag the selected workload does
+ * not consume produces a warning on stderr instead of silently doing
+ * nothing.
  *
  * The JSON file carries a "sim" summary (ticks, DRAM transactions,
  * validation verdict) plus the complete counter/distribution registry,
@@ -22,11 +31,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "coherence/protocol.hh"
 #include "sim/stats.hh"
 #include "system/ccsvm_machine.hh"
-#include "workloads/workloads.hh"
+#include "workloads/registry.hh"
 
 namespace
 {
@@ -36,9 +46,10 @@ using namespace ccsvm;
 struct DriverOptions
 {
     std::string workload = "matmul";
-    unsigned n = 32;            ///< matmul/apsp matrix dim, spmm dim
-    workloads::BarnesHutParams bh;
-    workloads::SpmmParams spmm;
+    workloads::WorkloadParams params;
+    /** Workload-parameter flags the user actually passed, for the
+     * ignored-flag warning. */
+    std::vector<std::string> setFlags;
 
     system::CcsvmConfig cfg;
 
@@ -50,19 +61,38 @@ struct DriverOptions
 void
 usage(const char *argv0, std::FILE *out = stdout)
 {
+    const auto &reg = workloads::WorkloadRegistry::instance();
     std::fprintf(
         out,
         "usage: %s [options]\n"
         "\n"
         "workload selection:\n"
-        "  --workload NAME     matmul | apsp | barneshut | spmm "
-        "(default matmul)\n"
+        "  --workload NAME     one of: %s\n"
+        "                      (default matmul)\n"
+        "  --list-workloads    list every workload with its summary "
+        "and flags\n"
+        "\n"
+        "workload parameters (each consumed only by some workloads;\n"
+        "setting one the selected workload ignores warns):\n"
         "  --n N               matrix dimension for matmul/apsp/spmm "
         "(default 32)\n"
         "  --bodies N          barneshut body count (default 256)\n"
         "  --steps N           barneshut time steps (default 2)\n"
         "  --density F         spmm non-zero fraction (default 0.01)\n"
-        "  --seed N            barneshut/spmm input seed\n"
+        "  --seed N            barneshut/spmm input seed, "
+        "synth:ptrchase ring seed\n"
+        "  --iters N           synth main-loop iterations per thread "
+        "(default 64)\n"
+        "  --synth-threads N   synth MTTOP traffic threads "
+        "(default 16)\n"
+        "  --rpw N             synth extra reads per write "
+        "(default 4)\n"
+        "  --footprint-kb K    synth stream/ptrchase total footprint "
+        "(default 64)\n"
+        "  --stride B          synth stream/ptrchase access stride "
+        "bytes (default 64)\n"
+        "  --sharing N         synth sharing degree: threads/line "
+        "(false), lines (readmostly)\n"
         "\n"
         "machine configuration (defaults = paper Table 2):\n"
         "  --protocol P        coherence protocol: msi | mesi | moesi "
@@ -86,13 +116,27 @@ usage(const char *argv0, std::FILE *out = stdout)
         "stdout\n"
         "  --verbose           keep simulator log output\n"
         "  --help              this text\n",
-        argv0);
+        argv0, reg.nameList(" | ").c_str());
+}
+
+void
+listWorkloads()
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    for (const auto &e : reg.entries()) {
+        std::string flags;
+        for (const auto &f : e.flags)
+            flags += (flags.empty() ? "" : " ") + f;
+        std::printf("  %-16s %s%s%s%s\n", e.name.c_str(),
+                    e.summary.c_str(), flags.empty() ? "" : "  [",
+                    flags.c_str(), flags.empty() ? "" : "]");
+    }
 }
 
 /**
  * Parse the next argument of flag @p name as an unsigned integer.
  * Count-like flags (core counts, sizes) reject 0; flags where 0 is
- * meaningful (--seed, --steps, --dram-ns) pass @p allow_zero.
+ * meaningful (--seed, --steps, --dram-ns, --rpw) pass @p allow_zero.
  */
 unsigned
 parseUnsigned(const char *name, const char *value,
@@ -137,24 +181,60 @@ parseArgs(int argc, char **argv)
             }
             return argv[++i];
         };
+        // Record a workload-parameter flag for the ignored-flag
+        // warning (machine/output flags apply to every workload).
+        auto wlFlag = [&]() { o.setFlags.push_back(arg); };
 
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             std::exit(0);
+        } else if (arg == "--list-workloads") {
+            listWorkloads();
+            std::exit(0);
         } else if (arg == "--workload") {
             o.workload = next();
         } else if (arg == "--n") {
-            o.n = parseUnsigned("--n", next());
+            o.params.n = parseUnsigned("--n", next());
+            wlFlag();
         } else if (arg == "--bodies") {
-            o.bh.bodies = parseUnsigned("--bodies", next());
+            o.params.bh.bodies = parseUnsigned("--bodies", next());
+            wlFlag();
         } else if (arg == "--steps") {
-            o.bh.steps = parseUnsigned("--steps", next(), true);
+            o.params.bh.steps =
+                parseUnsigned("--steps", next(), true);
+            wlFlag();
         } else if (arg == "--density") {
-            o.spmm.density = parseDouble("--density", next());
+            o.params.spmm.density = parseDouble("--density", next());
+            wlFlag();
         } else if (arg == "--seed") {
             const unsigned s = parseUnsigned("--seed", next(), true);
-            o.bh.seed = s;
-            o.spmm.seed = s;
+            o.params.bh.seed = s;
+            o.params.spmm.seed = s;
+            o.params.synth.seed = s;
+            wlFlag();
+        } else if (arg == "--iters") {
+            o.params.synth.iters = parseUnsigned("--iters", next());
+            wlFlag();
+        } else if (arg == "--synth-threads") {
+            o.params.synth.threads =
+                parseUnsigned("--synth-threads", next());
+            wlFlag();
+        } else if (arg == "--rpw") {
+            o.params.synth.readsPerWrite =
+                parseUnsigned("--rpw", next(), true);
+            wlFlag();
+        } else if (arg == "--footprint-kb") {
+            o.params.synth.footprintBytes =
+                Addr(parseUnsigned("--footprint-kb", next())) * 1024;
+            wlFlag();
+        } else if (arg == "--stride") {
+            o.params.synth.strideBytes =
+                parseUnsigned("--stride", next());
+            wlFlag();
+        } else if (arg == "--sharing") {
+            o.params.synth.sharingDegree =
+                parseUnsigned("--sharing", next());
+            wlFlag();
         } else if (arg == "--protocol") {
             const char *v = next();
             if (!coherence::protocolFromName(v, o.cfg.protocol)) {
@@ -208,29 +288,38 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-/** Run the selected workload on @p m; exits on an unknown name. */
-workloads::RunResult
-runWorkload(const DriverOptions &o, system::CcsvmMachine &m)
+/**
+ * Resolve the selected workload in the registry; exits with the full
+ * name list on an unknown name. Warns about workload-parameter flags
+ * the selection will ignore.
+ */
+const workloads::WorkloadEntry &
+selectWorkload(const DriverOptions &o)
 {
-    if (o.workload == "matmul")
-        return workloads::matmulXthreads(m, o.n);
-    if (o.workload == "apsp")
-        return workloads::apspXthreads(m, o.n);
-    if (o.workload == "barneshut")
-        return workloads::barnesHutXthreads(m, o.bh);
-    if (o.workload == "spmm") {
-        workloads::SpmmParams p = o.spmm;
-        p.n = o.n;
-        return workloads::spmmXthreads(m, p);
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    const workloads::WorkloadEntry *e = reg.find(o.workload);
+    if (!e) {
+        std::fprintf(stderr,
+                     "ccsvm: unknown workload '%s' (want one of: "
+                     "%s)\n",
+                     o.workload.c_str(), reg.nameList().c_str());
+        std::exit(2);
     }
-    std::fprintf(stderr, "ccsvm: unknown workload '%s' (want matmul, "
-                 "apsp, barneshut or spmm)\n", o.workload.c_str());
-    std::exit(2);
+    for (const auto &flag : o.setFlags) {
+        if (!e->consumesFlag(flag)) {
+            std::fprintf(stderr,
+                         "ccsvm: warning: %s is ignored by workload "
+                         "'%s'\n",
+                         flag.c_str(), e->name.c_str());
+        }
+    }
+    return *e;
 }
 
 void
-writeJson(const DriverOptions &o, system::CcsvmMachine &m,
-          const workloads::RunResult &r)
+writeJson(const DriverOptions &o,
+          const workloads::WorkloadEntry &entry,
+          system::CcsvmMachine &m, const workloads::RunResult &r)
 {
     std::ofstream os(o.jsonPath);
     if (!os) {
@@ -238,13 +327,24 @@ writeJson(const DriverOptions &o, system::CcsvmMachine &m,
                      o.jsonPath.c_str());
         std::exit(1);
     }
+    const workloads::WorkloadParams &p = o.params;
+    // The parameter groups default to different seeds; the registry
+    // entry knows which one (if any) the workload consumed.
+    const std::uint64_t seed = entry.seed ? entry.seed(p) : 0;
     os << "{\n"
        << "  \"workload\": \"" << sim::jsonEscape(o.workload)
        << "\",\n"
-       << "  \"params\": {\"n\": " << o.n
-       << ", \"bodies\": " << o.bh.bodies
-       << ", \"steps\": " << o.bh.steps
-       << ", \"density\": " << sim::jsonNumber(o.spmm.density)
+       << "  \"params\": {\"n\": " << p.n
+       << ", \"bodies\": " << p.bh.bodies
+       << ", \"steps\": " << p.bh.steps
+       << ", \"density\": " << sim::jsonNumber(p.spmm.density)
+       << ", \"seed\": " << seed
+       << ",\n             \"iters\": " << p.synth.iters
+       << ", \"synth_threads\": " << p.synth.threads
+       << ", \"rpw\": " << p.synth.readsPerWrite
+       << ", \"footprint_bytes\": " << p.synth.footprintBytes
+       << ", \"stride\": " << p.synth.strideBytes
+       << ", \"sharing\": " << p.synth.sharingDegree
        << "},\n"
        << "  \"machine\": {\"protocol\": \""
        << coherence::protocolName(o.cfg.protocol)
@@ -277,11 +377,12 @@ int
 main(int argc, char **argv)
 {
     const DriverOptions o = parseArgs(argc, argv);
+    const workloads::WorkloadEntry &entry = selectWorkload(o);
     if (!o.verbose)
         setQuiet(true);
 
     system::CcsvmMachine m(o.cfg);
-    const workloads::RunResult r = runWorkload(o, m);
+    const workloads::RunResult r = entry.run(m, o.params);
 
     // Mirror the run summary into the registry so every consumer of
     // the stats dump — text or JSON — sees the headline numbers next
@@ -304,7 +405,7 @@ main(int argc, char **argv)
     if (o.textStats)
         m.dumpStats(std::cout);
     if (!o.jsonPath.empty())
-        writeJson(o, m, r);
+        writeJson(o, entry, m, r);
 
     return r.correct ? 0 : 1;
 }
