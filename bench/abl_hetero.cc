@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Ablation A6: per-cluster heterogeneous coherence protocols.
+ *
+ * The paper's chip runs one protocol everywhere; this sweep crosses
+ * every CPU-cluster protocol with every MTTOP-cluster protocol (9
+ * pairs) over two paper workloads (dense and sparse matmul) and the
+ * two synthetic patterns that discriminate the pairs hardest:
+ * migratory (read-dirty-then-write hand-offs, the O state's reason to
+ * exist) and false sharing (invalidation storms). Each row reports
+ * runtime plus the pair-sensitive traffic: total writebacks (off-chip
+ * plus dirty-read writebacks), the per-cluster split of the
+ * dirty-read writebacks, and L1 invalidations. Expected shape: the
+ * homogeneous diagonal reproduces abl_protocol; CPU-MOESI/MTTOP-MSI
+ * moves the migratory writeback burden entirely onto the MTTOP
+ * cluster; pairs whose MTTOP side has O but whose CPU side does not
+ * charge the CPU cluster for reading MTTOP-dirty data.
+ */
+
+#include "bench_common.hh"
+
+#include "coherence/protocol.hh"
+#include "system/ccsvm_machine.hh"
+#include "system/coherence_stats.hh"
+#include "workloads/synth/synth.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+using coherence::Protocol;
+using coherence::protocolName;
+namespace synth = workloads::synth;
+
+/** Pair index p = cpu * 3 + mttop over coherence::allProtocols. */
+Protocol
+cpuOf(std::int64_t pair)
+{
+    return coherence::allProtocols[static_cast<std::size_t>(pair / 3)];
+}
+
+Protocol
+mttopOf(std::int64_t pair)
+{
+    return coherence::allProtocols[static_cast<std::size_t>(pair % 3)];
+}
+
+std::string
+pairName(std::int64_t pair)
+{
+    return std::string(protocolName(cpuOf(pair))) + "_" +
+           protocolName(mttopOf(pair));
+}
+
+system::CcsvmConfig
+pairConfig(std::int64_t pair)
+{
+    system::CcsvmConfig cfg;
+    cfg.cpuProtocol = cpuOf(pair);
+    cfg.mttopProtocol = mttopOf(pair);
+    return cfg;
+}
+
+void
+recordRow(system::CcsvmMachine &m, const char *workload,
+          std::int64_t pair, const workloads::RunResult &r)
+{
+    const std::string series = pairName(pair) + "_" + workload;
+    auto &table = FigureTable::instance();
+    const auto x = static_cast<std::uint64_t>(pair);
+    table.record(x, series + "_ms", toMs(r.ticks));
+    table.record(x, series + "_wb",
+                 static_cast<double>(system::dirtyWritebacks(m)));
+    table.record(
+        x, series + "_swb_cpu",
+        static_cast<double>(
+            system::clusterSharingWritebacks(m, "cpu")));
+    table.record(
+        x, series + "_swb_mttop",
+        static_cast<double>(
+            system::clusterSharingWritebacks(m, "mttop")));
+    table.record(x, series + "_invs",
+                 static_cast<double>(system::l1Invalidations(m)));
+}
+
+void
+BM_HeteroMatmul(benchmark::State &state)
+{
+    const std::int64_t pair = state.range(0);
+    const auto n = static_cast<unsigned>(state.range(1));
+    system::CcsvmMachine m(pairConfig(pair));
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::matmulXthreads(m, n);
+    setCounters(state, r);
+    recordRow(m, "matmul", pair, r);
+}
+
+void
+BM_HeteroSpmm(benchmark::State &state)
+{
+    const std::int64_t pair = state.range(0);
+    const auto n = static_cast<unsigned>(state.range(1));
+    system::CcsvmMachine m(pairConfig(pair));
+    workloads::SpmmParams p;
+    p.n = n;
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = workloads::spmmXthreads(m, p);
+    setCounters(state, r);
+    recordRow(m, "spmm", pair, r);
+}
+
+void
+BM_HeteroSynth(benchmark::State &state)
+{
+    const std::int64_t pair = state.range(0);
+    const auto pat = static_cast<synth::Pattern>(state.range(1));
+    system::CcsvmMachine m(pairConfig(pair));
+    synth::SynthParams p;
+    p.pattern = pat;
+    p.iters = 24;
+    workloads::RunResult r;
+    for (auto _ : state)
+        r = synth::synthXthreads(m, p);
+    setCounters(state, r);
+    recordRow(m, synth::patternName(pat), pair, r);
+}
+
+void
+registerAll()
+{
+    const std::int64_t matmul_n = largeSweeps() ? 32 : 16;
+    const std::int64_t spmm_n = 32;
+    constexpr synth::Pattern kPatterns[] = {synth::Pattern::Migratory,
+                                            synth::Pattern::FalseShare};
+    for (std::int64_t pair = 0; pair < 9; ++pair) {
+        const std::string suffix = "_" + pairName(pair);
+        benchmark::RegisterBenchmark(
+            ("abl_hetero/matmul" + suffix).c_str(), BM_HeteroMatmul)
+            ->Args({pair, matmul_n})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("abl_hetero/spmm" + suffix).c_str(), BM_HeteroSpmm)
+            ->Args({pair, spmm_n})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        for (const synth::Pattern pat : kPatterns) {
+            benchmark::RegisterBenchmark(
+                ("abl_hetero/" + std::string(synth::patternName(pat)) +
+                 suffix)
+                    .c_str(),
+                BM_HeteroSynth)
+                ->Args({pair, static_cast<std::int64_t>(pat)})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+CCSVM_BENCH_MAIN(
+    "Ablation A6: per-cluster heterogeneous protocol pairs "
+    "(cpu_mttop; runtime ms, writebacks, per-cluster dirty-read "
+    "writeback split, L1 invalidations; x = pair index)",
+    "pair")

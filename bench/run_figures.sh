@@ -11,7 +11,8 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-figures-json}"
 
 FIGURES=(fig5_matmul fig6_apsp fig7_barneshut fig8_spmm fig9_dram
-         abl_launch abl_tlb abl_atomics abl_protocol abl_synth)
+         abl_launch abl_tlb abl_atomics abl_protocol abl_synth
+         abl_hetero)
 
 mkdir -p "$OUT_DIR"
 for fig in "${FIGURES[@]}"; do

@@ -26,19 +26,41 @@ if(NOT err MATCHES "usage:")
   message(FATAL_ERROR "missing usage hint on stderr:\n${err}")
 endif()
 
-# Bad value for a validated flag: error naming the flag, exit 2.
+# Bad value for a validated flag: error naming the flag AND the
+# accepted values (from the same enum table --list-protocols prints),
+# exit 2. All three --protocol-family flags share the path.
+foreach(flag --protocol --cpu-protocol --mttop-protocol)
+  execute_process(
+    COMMAND ${CCSVM_DRIVER} ${flag} mosi
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "bad ${flag} exited ${rc}, want 2\n"
+                        "stdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT err MATCHES "${flag}")
+    message(FATAL_ERROR "bad ${flag} error does not name the "
+                        "flag:\n${err}")
+  endif()
+  if(NOT err MATCHES "msi, mesi, moesi")
+    message(FATAL_ERROR "bad ${flag} error does not list the "
+                        "accepted protocol names:\n${err}")
+  endif()
+endforeach()
+
+# --list-protocols must enumerate the same table, one name per line.
 execute_process(
-  COMMAND ${CCSVM_DRIVER} --protocol mosi
+  COMMAND ${CCSVM_DRIVER} --list-protocols
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
-if(NOT rc EQUAL 2)
-  message(FATAL_ERROR "bad --protocol exited ${rc}, want 2\n"
-                      "stdout: ${out}\nstderr: ${err}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-protocols exited ${rc}\n"
+                      "stderr: ${err}")
 endif()
-if(NOT err MATCHES "--protocol")
-  message(FATAL_ERROR "bad --protocol error does not name the "
-                      "flag:\n${err}")
+if(NOT out MATCHES "msi\nmesi\nmoesi")
+  message(FATAL_ERROR "--list-protocols output unexpected:\n${out}")
 endif()
 
 # Flag missing its argument: exit 2.

@@ -1,0 +1,127 @@
+# Test script: drive all 9 CPU x MTTOP protocol pairs through the
+# driver on the migratory synth pattern and assert the heterogeneous
+# axis behaves as designed:
+#
+#   - every pair validates and echoes cpu_protocol/mttop_protocol in
+#     the JSON machine section
+#   - homogeneous pairs are byte-identical to the corresponding
+#     single --protocol runs (the cluster split must be invisible
+#     when both sides run the same protocol)
+#   - the headline mixed pair (CPU moesi, MTTOP msi) pays strictly
+#     more MTTOP-side dirty-read writebacks than all-moesi (whose O
+#     state absorbs every migratory hand-off)
+#
+# The protocol list comes from the driver's own --list-protocols, so
+# this sweep cannot drift when a protocol is added.
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -DCCSVM_OUT_DIR=<dir>
+#              -P CheckHeteroSweep.cmake
+
+if(NOT CCSVM_DRIVER OR NOT CCSVM_OUT_DIR)
+  message(FATAL_ERROR "CCSVM_DRIVER and CCSVM_OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${CCSVM_OUT_DIR})
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --list-protocols
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE proto_out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-protocols exited ${rc}\nstderr: ${err}")
+endif()
+string(STRIP "${proto_out}" proto_out)
+string(REPLACE "\n" ";" protocols "${proto_out}")
+list(LENGTH protocols nproto)
+if(nproto LESS 3)
+  message(FATAL_ERROR "--list-protocols returned only ${nproto} "
+                      "protocols: '${proto_out}'")
+endif()
+
+set(workload --workload synth:migratory --iters 12)
+
+# Single-protocol reference runs for the homogeneous comparison.
+foreach(proto IN LISTS protocols)
+  set(json ${CCSVM_OUT_DIR}/hetero_single_${proto}.json)
+  execute_process(
+    COMMAND ${CCSVM_DRIVER} ${workload} --protocol ${proto}
+            --json ${json}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--protocol ${proto} exited ${rc}\n"
+                        "stdout: ${out}\nstderr: ${err}")
+  endif()
+endforeach()
+
+# All CPU x MTTOP pairs.
+foreach(cpu IN LISTS protocols)
+  foreach(mttop IN LISTS protocols)
+    set(json ${CCSVM_OUT_DIR}/hetero_${cpu}_${mttop}.json)
+    execute_process(
+      COMMAND ${CCSVM_DRIVER} ${workload} --cpu-protocol ${cpu}
+              --mttop-protocol ${mttop} --json ${json}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "pair ${cpu}/${mttop} exited ${rc}\n"
+                          "stdout: ${out}\nstderr: ${err}")
+    endif()
+
+    file(READ ${json} doc)
+    string(JSON correct GET "${doc}" sim correct)
+    if(NOT correct STREQUAL "ON" AND NOT correct STREQUAL "true")
+      message(FATAL_ERROR "${cpu}/${mttop}: failed validation")
+    endif()
+    string(JSON echoed_cpu GET "${doc}" machine cpu_protocol)
+    string(JSON echoed_mttop GET "${doc}" machine mttop_protocol)
+    if(NOT echoed_cpu STREQUAL cpu OR
+       NOT echoed_mttop STREQUAL mttop)
+      message(FATAL_ERROR "${cpu}/${mttop}: JSON echoes "
+                          "'${echoed_cpu}/${echoed_mttop}'")
+    endif()
+
+    # Homogeneous pairs must be indistinguishable from the single
+    # --protocol run, stat for stat, byte for byte.
+    if(cpu STREQUAL mttop)
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${json}
+                ${CCSVM_OUT_DIR}/hetero_single_${cpu}.json
+        RESULT_VARIABLE same)
+      if(NOT same EQUAL 0)
+        message(FATAL_ERROR "pair ${cpu}/${mttop} differs from the "
+                            "single --protocol ${cpu} run")
+      endif()
+    endif()
+
+    # Sum the per-cluster dirty-read writebacks over every bank.
+    string(JSON banks GET "${doc}" machine l2_banks)
+    set(swb_mttop 0)
+    math(EXPR last_bank "${banks} - 1")
+    foreach(b RANGE ${last_bank})
+      string(JSON v GET "${doc}" stats counters
+             dir${b}.sharingWb.mttop)
+      math(EXPR swb_mttop "${swb_mttop} + ${v}")
+    endforeach()
+    set(swb_mttop_${cpu}_${mttop} ${swb_mttop})
+    message(STATUS "${cpu}/${mttop}: mttop sharingWb=${swb_mttop}")
+  endforeach()
+endforeach()
+
+# The migratory pattern's hand-offs live in the MTTOP cluster: with
+# MOESI CPUs but MSI MTTOPs every hand-off read pays a writeback at
+# the home, while all-moesi absorbs them all in the O state.
+if(NOT swb_mttop_moesi_msi GREATER swb_mttop_moesi_moesi)
+  message(FATAL_ERROR
+          "cpu-moesi/mttop-msi migratory MTTOP writebacks "
+          "(${swb_mttop_moesi_msi}) not strictly greater than "
+          "all-moesi (${swb_mttop_moesi_moesi})")
+endif()
+
+message(STATUS "hetero sweep ok: ${nproto}x${nproto} pairs; "
+               "migratory mttop sharingWb moesi/msi="
+               "${swb_mttop_moesi_msi} vs moesi/moesi="
+               "${swb_mttop_moesi_moesi}")

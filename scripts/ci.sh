@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build warnings-as-errors, run every test.
 # Usage: scripts/ci.sh [build-dir]
+#   CCSVM_BUILD_TYPE=Release|Debug   CMake build type (default Release)
+#   CCSVM_SANITIZE=1                 build with ASan+UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-CMAKE_ARGS=(-DCCSVM_WERROR=ON)
+CMAKE_ARGS=(-DCCSVM_WERROR=ON
+            -DCMAKE_BUILD_TYPE="${CCSVM_BUILD_TYPE:-Release}")
+if [[ "${CCSVM_SANITIZE:-0}" == 1 ]]; then
+    CMAKE_ARGS+=(-DCCSVM_SANITIZE=ON)
+fi
 # Compile through ccache when available (the CI workflow caches
 # ~/.cache/ccache across runs; local builds just get faster rebuilds).
 if command -v ccache >/dev/null 2>&1; then
@@ -16,12 +22,22 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+# The protocol list comes from the driver's own enum table
+# (--list-protocols), so these loops cannot drift when a protocol is
+# added or renamed.
+PROTOCOLS=$("$BUILD_DIR"/tools/ccsvm --list-protocols)
+[[ -n $PROTOCOLS ]] || {
+    echo "ci.sh: --list-protocols returned no protocols" >&2
+    exit 1
+}
+
 # Per-protocol fast loop: the value-parametrized suites instantiate
 # only the protocols named in CCSVM_PROTOCOLS, so each sub-second
 # pass checks the non-long labels against one coherence protocol in
 # isolation (and proves the CCSVM_PROTOCOLS narrowing itself works).
-# The full pass below still covers all protocols together.
-for proto in msi mesi moesi; do
+# The full pass below still covers all protocols together — and,
+# through the pair-parametrized suites, all protocol pairs.
+for proto in $PROTOCOLS; do
     echo "=== non-long suites, protocol=$proto ==="
     CCSVM_PROTOCOLS="$proto" ctest --test-dir "$BUILD_DIR" \
         --output-on-failure -j "$(nproc)" -LE long
@@ -41,7 +57,7 @@ SYNTH_PATTERNS=$("$BUILD_DIR"/tools/ccsvm --list-workloads |
     exit 1
 }
 for pattern in $SYNTH_PATTERNS; do
-    for proto in msi mesi moesi; do
+    for proto in $PROTOCOLS; do
         echo "=== synth smoke: $pattern protocol=$proto ==="
         "$BUILD_DIR"/tools/ccsvm --workload "$pattern" --iters 8 \
             --protocol "$proto"

@@ -164,9 +164,18 @@ class Context
     GuestTask
     finish(ThreadContext &ctx, Event &ev)
     {
-        auto state = ev.state;
+        // Ownership stays in this named local (frame-stored for the
+        // coroutine's lifetime); the polled predicate captures only a
+        // raw pointer. An owning capture must not ride in the
+        // co_await argument temporary: GCC 12 destroys such
+        // temporaries on both the suspend and the resume path, and a
+        // double-destroyed shared_ptr double-releases the TaskState
+        // under the Event still holding it (caught by the ASan CI
+        // lane).
+        const std::shared_ptr<core::TaskState> state = ev.state;
+        core::TaskState *raw = state.get();
         co_await ctx.hostWait(
-            [state] { return !state || state->remaining == 0; });
+            [raw] { return !raw || raw->remaining == 0; });
         co_await ctx.stall(cfg_.finishOverhead);
     }
 

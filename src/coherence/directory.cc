@@ -18,7 +18,13 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
                      int bank_id, int num_banks, noc::Network &net,
                      noc::NodeId my_node, mem::DramCtrl &dram,
                      mem::PhysMem &phys)
-    : eq_(&eq), cfg_(cfg), policy_(&protocolPolicy(cfg.protocol)),
+    : eq_(&eq), cfg_(cfg),
+      cpuPolicy_(&protocolPolicy(cfg.firstMttopL1 >= 0
+                                     ? cfg.cpuProtocol
+                                     : cfg.protocol)),
+      mttopPolicy_(&protocolPolicy(cfg.firstMttopL1 >= 0
+                                       ? cfg.mttopProtocol
+                                       : cfg.protocol)),
       bankId_(bank_id), numBanks_(num_banks),
       net_(&net), node_(my_node), dram_(&dram), phys_(&phys),
       array_(cfg.bankSizeBytes, cfg.assoc),
@@ -31,6 +37,18 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
       sharingWb_(stats.counter(name + ".sharingWb",
                                "dirty blocks made clean at the home "
                                "on a read (protocols without O)")),
+      sharingWbCpu_(stats.counter(name + ".sharingWb.cpu",
+                                  "sharingWb carried home by "
+                                  "CPU-cluster requestors")),
+      sharingWbMttop_(stats.counter(name + ".sharingWb.mttop",
+                                    "sharingWb carried home by "
+                                    "MTTOP-cluster requestors")),
+      invsSentCpu_(stats.counter(name + ".invsSent.cpu",
+                                 "invalidations sent to CPU-cluster "
+                                 "L1s")),
+      invsSentMttop_(stats.counter(name + ".invsSent.mttop",
+                                   "invalidations sent to "
+                                   "MTTOP-cluster L1s")),
       recallsStat_(stats.counter(name + ".recalls",
                                  "inclusive-eviction recalls")),
       stalls_(stats.counter(name + ".stalls",
@@ -131,6 +149,18 @@ bool
 Directory::isSharer(const L2Line &line, L1Id id) const
 {
     return (line.sharers >> id) & 1u;
+}
+
+bool
+Directory::isMttopL1(L1Id id) const
+{
+    return cfg_.firstMttopL1 >= 0 && id >= cfg_.firstMttopL1;
+}
+
+const ProtocolPolicy &
+Directory::policyFor(L1Id id) const
+{
+    return isMttopL1(id) ? *mttopPolicy_ : *cpuPolicy_;
 }
 
 // ---------------------------------------------------------------------
@@ -253,8 +283,9 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
         rsp.data = line->data;
         if (line->sharers == 0 && line->owner == noL1) {
             // No cached copies anywhere: grant the best read state
-            // the protocol offers (E under MESI/MOESI, S under MSI).
-            rsp.type = policy_->soleCopyFill();
+            // the requestor's cluster protocol offers (E under
+            // MESI/MOESI, S under MSI).
+            rsp.type = policyFor(msg.sender).soleCopyFill();
         } else {
             rsp.type = MsgType::DataS;
         }
@@ -274,6 +305,12 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
     fwd.type = MsgType::FwdGetS;
     fwd.blockAddr = msg.blockAddr;
     fwd.requestor = msg.sender;
+    // Pair-wise mediation: the owner may keep a dirty copy (O) only
+    // when both its cluster and the requestor's have the O state;
+    // otherwise it downgrades and the requestor carries dirty data
+    // home on its Unblock.
+    fwd.allowDirtySharing = pairAllowsDirtySharing(
+        policyFor(line->owner), policyFor(msg.sender));
     sendToL1(line->owner, std::move(fwd), cfg_.ctrlLatency);
 }
 
@@ -359,6 +396,7 @@ Directory::sendInvs(L2Line &line, L1Id skip, L1Id ack_dest)
         inv.type = MsgType::Inv;
         inv.blockAddr = line.addr;
         inv.requestor = ack_dest;
+        ++(isMttopL1(id) ? invsSentMttop_ : invsSentCpu_);
         sendToL1(id, std::move(inv), cfg_.ctrlLatency);
     }
 }
@@ -464,16 +502,26 @@ Directory::processUnblock(CohMsg &msg)
         line->owner = txn.requestor;
         line->sharers = 0;
     } else if (txn.forwarded) {
-        if (msg.ownerDirty && policy_->allowsDirtySharing()) {
-            // Old owner kept a dirty copy: MOESI Owned state.
+        if (msg.ownerDirty) {
+            // Old owner kept a dirty copy: Owned state. Only
+            // reachable when this directory offered dirty sharing to
+            // the pair, i.e. both clusters have O.
+            ccsvm_assert(pairAllowsDirtySharing(
+                             policyFor(txn.oldOwner),
+                             policyFor(txn.requestor)),
+                         "dirty-shared Unblock under a pair without O");
             line->st = DirState::O;
             line->owner = txn.oldOwner;
             line->sharers |= 1u << txn.requestor;
         } else {
-            if (msg.ownerDirty) {
-                // No O state: the requestor carried the old owner's
-                // dirty data home; the line becomes clean-shared.
+            if (msg.hasData && msg.dirty) {
+                // No dirty sharing for this pair: the requestor
+                // carried the old owner's dirty data home; the line
+                // becomes clean-shared. Charge the writeback to the
+                // cluster that performed it (the requestor's).
                 ++sharingWb_;
+                ++(isMttopL1(txn.requestor) ? sharingWbMttop_
+                                            : sharingWbCpu_);
                 absorbDirtyData(*line, msg);
             }
             // The old owner downgraded to S (it was E-clean, or its
@@ -546,8 +594,10 @@ Directory::allocateAndFetch(CohMsg msg)
         rsp.blockAddr = addr;
         rsp.hasData = true;
         rsp.data = l->data;
-        // Fresh from memory: nobody else holds it.
-        rsp.type = want_m ? MsgType::DataM : policy_->soleCopyFill();
+        // Fresh from memory: nobody else holds it; a read fill gets
+        // the best state the requestor's cluster protocol offers.
+        rsp.type = want_m ? MsgType::DataM
+                          : policyFor(requestor).soleCopyFill();
         rsp.ackCount = 0;
         sendToL1(requestor, std::move(rsp), cfg_.l2DataLatency);
     });

@@ -3,7 +3,12 @@
  * Banked, inclusive shared L2 cache with an embedded directory.
  * Protocol-specific decisions (E fills, Owned vs writeback-on-read)
  * are delegated to the ProtocolPolicy selected by DirConfig, so the
- * same bank runs MSI, MESI or MOESI (the default).
+ * same bank runs MSI, MESI or MOESI (the default) — and, with a
+ * cluster split configured, a different protocol per cluster: the
+ * bank resolves every transaction against the requestor's cluster
+ * policy (sole-copy fills) or the owner/requestor pair (dirty
+ * sharing), so a MOESI CPU cluster and an MSI MTTOP cluster share
+ * one directory soundly.
  *
  * This is the paper's home node: "the shared L2 cache is banked and
  * co-located with a banked directory that holds state used for cache
@@ -47,8 +52,21 @@ struct DirConfig
     Tick l2DataLatency = 3450;  ///< ~10 CPU cycles / 2 MTTOP cycles
     Tick ctrlLatency = 1000;    ///< directory state access
 
-    /** Coherence protocol; must match the L1 controllers'. */
+    /** Coherence protocol for every L1 when no cluster split is
+     * configured (firstMttopL1 < 0); must match the L1 controllers'. */
     Protocol protocol = Protocol::MOESI;
+
+    /**
+     * Per-cluster heterogeneous protocols. When firstMttopL1 >= 0,
+     * L1 ids below the boundary belong to the CPU cluster and run
+     * cpuProtocol, ids at or above it are MTTOP L1s running
+     * mttopProtocol; `protocol` is ignored. The directory mediates
+     * mixed pairs: sole-copy fills follow the requestor's policy and
+     * dirty sharing requires the O state at both ends.
+     */
+    Protocol cpuProtocol = Protocol::MOESI;
+    Protocol mttopProtocol = Protocol::MOESI;
+    int firstMttopL1 = -1;
 
     /**
      * Directory-at-memory mode (the APU baseline's CPU cluster): the
@@ -152,6 +170,11 @@ class Directory
     // --- helpers ---
     static unsigned popcount(std::uint32_t m);
     bool isSharer(const L2Line &line, L1Id id) const;
+    /** L1 @p id belongs to the MTTOP cluster (cluster split active
+     * and id at or past the boundary). */
+    bool isMttopL1(L1Id id) const;
+    /** The protocol policy governing L1 @p id's cluster. */
+    const ProtocolPolicy &policyFor(L1Id id) const;
     void sendInvs(L2Line &line, L1Id skip, L1Id ack_dest);
     void sendToL1(L1Id dst, CohMsg msg, Tick extra_latency);
     void sendPutAck(Addr block_addr, L1Id dst);
@@ -161,7 +184,8 @@ class Directory
 
     sim::EventQueue *eq_;
     DirConfig cfg_;
-    const ProtocolPolicy *policy_;
+    const ProtocolPolicy *cpuPolicy_;
+    const ProtocolPolicy *mttopPolicy_;
     int bankId_;
     int numBanks_;
     noc::Network *net_;
@@ -181,6 +205,13 @@ class Directory
     sim::Counter &fetches_;
     sim::Counter &writebacks_;
     sim::Counter &sharingWb_;
+    /** sharingWb split by the cluster of the requestor that carried
+     * the dirty data home (the side paying the writeback). */
+    sim::Counter &sharingWbCpu_;
+    sim::Counter &sharingWbMttop_;
+    /** Invalidations sent, split by destination cluster. */
+    sim::Counter &invsSentCpu_;
+    sim::Counter &invsSentMttop_;
     sim::Counter &recallsStat_;
     sim::Counter &stalls_;
 };

@@ -172,6 +172,7 @@ L1Controller::startTransaction(MshrEntry &entry)
     entry.acksReceived = 0;
     entry.fillState = CohState::I;
     entry.fillDirty = false;
+    entry.fillOwnerRetained = false;
     entry.unblockSent = false;
 
     CohMsg msg;
@@ -282,12 +283,14 @@ L1Controller::finalizeFill(MshrEntry &entry)
         ub.sender = id_;
         ub.requestor = id_;
         ub.finalState = line->state;
-        ub.ownerDirty = entry.fillDirty;
-        if (entry.fillDirty && policy_->unblockCarriesDirtyData()) {
-            // No O state: the old owner's dirty data must be made
-            // clean at the home node. The directory holds the block
-            // busy until this Unblock lands, so no request can read
-            // the stale L2 copy in the window.
+        ub.ownerDirty = entry.fillOwnerRetained;
+        if (entry.fillDirty && !entry.fillOwnerRetained) {
+            // The owner downgraded instead of keeping O (its cluster
+            // or ours lacks dirty sharing): the dirty data must be
+            // made clean at the home node, whatever our own protocol.
+            // The directory holds the block busy until this Unblock
+            // lands, so no request can read the stale L2 copy in the
+            // window.
             ub.hasData = true;
             ub.dirty = true;
             ub.data = line->data;
@@ -404,10 +407,20 @@ L1Controller::handleFwdGetS(CohMsg &msg)
                      cohStateName(line->state));
         rsp.data = line->data;
         rsp.dirty = line->state != CohState::E;
-        // With an O state a dirty owner keeps the block in O; without
-        // one (and for a clean E owner) it downgrades to S, and the
-        // requestor carries the dirty data home on its Unblock.
-        setLineState(*line, policy_->ownerStateOnFwdGetS(line->state));
+        // The directory's pair-wise verdict rides on the forward:
+        // with dirty sharing a dirty owner keeps the block in O;
+        // without it (and for a clean E owner) it downgrades to S,
+        // and the requestor carries the dirty data home on its
+        // Unblock.
+        const CohState next =
+            ownerStateOnFwdGetS(line->state, msg.allowDirtySharing);
+        ccsvm_assert(next != CohState::O ||
+                         policy_->allowsDirtySharing(),
+                     "L1 %d offered O but its protocol (%s) lacks it "
+                     "(L1/directory protocol mismatch?)",
+                     id_, policy_->name());
+        rsp.ownerRetained = next == CohState::O;
+        setLineState(*line, next);
         sendToL1(msg.requestor, std::move(rsp));
         return;
     }
@@ -419,6 +432,12 @@ L1Controller::handleFwdGetS(CohMsg &msg)
                  (unsigned long long)msg.blockAddr, id_);
     rsp.data = ev->second.data;
     rsp.dirty = ev->second.state != CohState::E;
+    // The conceptual owner state lives in the victim buffer; under
+    // dirty sharing the directory re-lists us as the O owner and our
+    // in-flight PutOwned retires as a stale put.
+    rsp.ownerRetained =
+        ownerStateOnFwdGetS(ev->second.state, msg.allowDirtySharing) ==
+        CohState::O;
     sendToL1(msg.requestor, std::move(rsp));
 }
 
@@ -543,9 +562,14 @@ L1Controller::handleData(CohMsg &msg)
         entry.data = msg.data;
         entry.fillState = CohState::S;
         entry.fillDirty = msg.dirty;
+        entry.fillOwnerRetained = msg.ownerRetained;
         entry.acksExpected = 0;
         break;
       case MsgType::DataE:
+        ccsvm_assert(policy_->hasExclusiveState(),
+                     "DataE at L1 %d whose protocol (%s) has no E "
+                     "(L1/directory protocol mismatch?)",
+                     id_, policy_->name());
         entry.dataReceived = true;
         entry.data = msg.data;
         entry.fillState = CohState::E;

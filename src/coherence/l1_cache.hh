@@ -63,7 +63,9 @@ struct L1Config
     unsigned assoc = 4;
     Tick hitLatency = 690;      ///< 2 CPU cycles at 2.9 GHz (Table 2)
     unsigned maxMshrs = 16;
-    /** Coherence protocol; must match the directory banks'. */
+    /** This cluster's coherence protocol; must match what the
+     * directory banks believe about this L1's cluster (DirConfig's
+     * protocol, or cpuProtocol/mttopProtocol under a cluster split). */
     Protocol protocol = Protocol::MOESI;
 };
 
@@ -131,6 +133,10 @@ class L1Controller
         int acksReceived = 0;
         CohState fillState = CohState::I;
         bool fillDirty = false; ///< DataS came from a dirty owner
+        /** The forwarding owner kept the dirty block (O); when clear
+         * and fillDirty is set, our Unblock must carry the data home
+         * so the L2 copy becomes clean. */
+        bool fillOwnerRetained = false;
         std::array<std::uint8_t, mem::blockBytes> data{};
         std::deque<MemRequestPtr> ops;
         bool unblockSent = false;

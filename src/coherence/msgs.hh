@@ -78,8 +78,21 @@ struct CohMsg
 
     /** Unblock: the requestor's final state (S/E/M). */
     CohState finalState = CohState::I;
-    /** Unblock after a FwdGetS: previous owner kept a dirty copy. */
+    /** Unblock after a FwdGetS: previous owner kept a dirty copy
+     * (Owned state); the home copy stays stale. */
     bool ownerDirty = false;
+
+    /** FwdGetS: the directory's pair-wise verdict — the owner may
+     * keep the block dirty-shared (O) instead of downgrading to S.
+     * Requires the O state in both the owner's and the requestor's
+     * cluster protocol (pairAllowsDirtySharing). */
+    bool allowDirtySharing = false;
+
+    /** DataS from a forwarding owner: it kept the (dirty) block in O,
+     * so the requestor must NOT carry the data home on its Unblock.
+     * When false and dirty is set, the requestor is responsible for
+     * making the home copy clean, whatever its own protocol. */
+    bool ownerRetained = false;
 
     unsigned
     wireBytes() const

@@ -48,6 +48,18 @@ protocolName(Protocol p)
     return "?";
 }
 
+std::string
+protocolNameList(std::string_view sep)
+{
+    std::string out;
+    for (const Protocol p : allProtocols) {
+        if (!out.empty())
+            out += sep;
+        out += protocolName(p);
+    }
+    return out;
+}
+
 bool
 protocolFromName(std::string_view name, Protocol &out)
 {
@@ -56,17 +68,11 @@ protocolFromName(std::string_view name, Protocol &out)
     for (const char ch : name)
         lower.push_back(static_cast<char>(
             std::tolower(static_cast<unsigned char>(ch))));
-    if (lower == "msi") {
-        out = Protocol::MSI;
-        return true;
-    }
-    if (lower == "mesi") {
-        out = Protocol::MESI;
-        return true;
-    }
-    if (lower == "moesi") {
-        out = Protocol::MOESI;
-        return true;
+    for (const Protocol p : allProtocols) {
+        if (lower == protocolName(p)) {
+            out = p;
+            return true;
+        }
     }
     return false;
 }

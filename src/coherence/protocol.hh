@@ -22,11 +22,22 @@
  * The state machines share all structural transitions (MSHRs, victim
  * buffers, recalls, blocking directory); only the decision points
  * below differ, so the policies are small and exhaustively testable.
+ *
+ * Protocols are a per-cluster property: the CPU cluster and the MTTOP
+ * cluster may each run a different protocol against the same
+ * directory. The directory mediates every transaction pair-wise —
+ * sole-copy fills follow the *requestor's* policy, and dirty sharing
+ * on a forwarded read (the O state) requires it at BOTH ends
+ * (pairAllowsDirtySharing below): a MOESI owner read by an MSI
+ * cluster writes its data back home exactly as it would under plain
+ * MESI/MSI, so the weaker cluster never observes a dirty-shared line.
  */
 
 #ifndef CCSVM_COHERENCE_PROTOCOL_HH
 #define CCSVM_COHERENCE_PROTOCOL_HH
 
+#include <array>
+#include <string>
 #include <string_view>
 
 #include "coherence/msgs.hh"
@@ -43,8 +54,17 @@ enum class Protocol : std::uint8_t
     MOESI,
 };
 
+/** Every selectable protocol, in enum order. The driver's
+ * --list-protocols, its usage/error text and CI's protocol loops all
+ * derive from this table, so adding a protocol extends them all. */
+inline constexpr std::array<Protocol, 3> allProtocols = {
+    Protocol::MSI, Protocol::MESI, Protocol::MOESI};
+
 /** Lower-case protocol name ("msi", "mesi", "moesi"). */
 const char *protocolName(Protocol p);
+
+/** Every protocol name joined with @p sep (usage and error text). */
+std::string protocolNameList(std::string_view sep = ", ");
 
 /** Parse a protocol name (case-insensitive); false on unknown. */
 bool protocolFromName(std::string_view name, Protocol &out);
@@ -72,35 +92,46 @@ class ProtocolPolicy
     const char *name() const { return protocolName(kind()); }
 
     /** Directory: response type for a read fill when no other cache
-     * holds the block (DataE with an E state, else DataS). */
+     * holds the block (DataE with an E state, else DataS). Follows
+     * the *requestor's* cluster policy: an MSI cluster is never
+     * granted E even when the other cluster's protocol has it. */
     MsgType
     soleCopyFill() const
     {
         return hasExclusiveState() ? MsgType::DataE : MsgType::DataS;
     }
-
-    /** L1 owner: next state after supplying data for a FwdGetS from
-     * stable state @p current (one of E/M/O). */
-    CohState
-    ownerStateOnFwdGetS(CohState current) const
-    {
-        if (allowsDirtySharing() && current != CohState::E)
-            return CohState::O;
-        return CohState::S;
-    }
-
-    /** L1 requestor: a GetS answered with dirty data must carry that
-     * data home on the Unblock so the directory copy becomes clean
-     * (protocols without O cannot leave the line dirty-shared). */
-    bool
-    unblockCarriesDirtyData() const
-    {
-        return !allowsDirtySharing();
-    }
 };
 
 /** Shared immutable policy instance for @p p. */
 const ProtocolPolicy &protocolPolicy(Protocol p);
+
+/**
+ * Directory: may a forwarded read leave the line dirty-shared (owner
+ * keeps O, home copy stays stale)? Requires the O state at BOTH ends
+ * of the transfer — the owner keeps the dirty block, and the
+ * requestor's cluster must tolerate reading from a dirty-shared line
+ * whose home copy is stale. When either cluster lacks O, the
+ * directory falls back to the writeback path: the owner downgrades to
+ * S and the requestor carries the dirty data home on its Unblock
+ * (counted as sharingWb, split per requestor cluster).
+ */
+inline bool
+pairAllowsDirtySharing(const ProtocolPolicy &owner,
+                       const ProtocolPolicy &requestor)
+{
+    return owner.allowsDirtySharing() && requestor.allowsDirtySharing();
+}
+
+/** L1 owner: next state after supplying data for a FwdGetS from
+ * stable state @p current (one of E/M/O), given the directory's
+ * pair-wise dirty-sharing decision carried on the forward. */
+inline CohState
+ownerStateOnFwdGetS(CohState current, bool allow_dirty_sharing)
+{
+    if (allow_dirty_sharing && current != CohState::E)
+        return CohState::O;
+    return CohState::S;
+}
 
 } // namespace ccsvm::coherence
 

@@ -11,10 +11,22 @@ namespace ccsvm::system
 CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     : cfg_(std::move(cfg)), phys_(cfg_.physMemBytes)
 {
-    // One protocol spans every controller on the chip.
-    cfg_.cpuL1.protocol = cfg_.protocol;
-    cfg_.mttopL1.protocol = cfg_.protocol;
-    cfg_.l2.protocol = cfg_.protocol;
+    // Bind each cluster's protocol (defaulting to the chip-wide one)
+    // to its L1s, and teach the directory banks the cluster split so
+    // they can mediate mixed-protocol transactions.
+    const coherence::Protocol cpu_p =
+        cfg_.cpuProtocol.value_or(cfg_.protocol);
+    const coherence::Protocol mttop_p =
+        cfg_.mttopProtocol.value_or(cfg_.protocol);
+    cfg_.cpuProtocol = cpu_p;
+    cfg_.mttopProtocol = mttop_p;
+    cfg_.cpuL1.protocol = cpu_p;
+    cfg_.mttopL1.protocol = mttop_p;
+    // DirConfig::protocol is ignored once the cluster split below is
+    // configured; only the per-cluster pair matters.
+    cfg_.l2.cpuProtocol = cpu_p;
+    cfg_.l2.mttopProtocol = mttop_p;
+    cfg_.l2.firstMttopL1 = cfg_.numCpuCores;
 
     dram_ = std::make_unique<mem::DramCtrl>(eq_, stats_, "dram",
                                             cfg_.dram);
@@ -152,7 +164,26 @@ CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
     spawnCpuThread(0, proc, std::move(fn), args, [&] { done = true; });
     const bool finished = eq_.runUntil([&] { return done; });
     ccsvm_assert(finished, "guest main never exited (deadlock?)");
-    return eq_.now() - start;
+    const Tick ticks = eq_.now() - start;
+    // Quiesce before returning: under protocols without an Owned
+    // state the newest copy of a line can be in flight between a
+    // downgraded owner and the home (the dirty Unblock of the read
+    // that observed main's exit condition) at the instant main exits.
+    // funcRead trusts only owner-state L1 copies and the home, so an
+    // immediate functional peek — every workload's host validation —
+    // would read stale data. Guest threads main did not join simply
+    // run to completion here; the measured region still ends at
+    // main's exit. The drain is bounded so an unsatisfiable straggler
+    // (a thread spinning on a condition only main could have set)
+    // degrades to a warning instead of hanging the host forever.
+    constexpr Tick quiesceLimit = 100 * tickMs;
+    eq_.run(eq_.now() + quiesceLimit);
+    if (!eq_.empty()) {
+        ccsvm_warn("runMain: %zu events still pending after the "
+                   "post-main quiesce window; functional reads may "
+                   "see stale data", eq_.size());
+    }
+    return ticks;
 }
 
 void

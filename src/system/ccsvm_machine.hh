@@ -7,16 +7,17 @@
  * 128 threads each, 8 ops/cycle) + 4 banked inclusive-L2/directory
  * slices + the MIFD, all on a 2D torus with 12 GB/s links; one
  * coherence protocol (MOESI by default; MSI/MESI selectable via
- * CcsvmConfig::protocol) spans every core, one virtual address space
- * per process spans CPU and MTTOP threads, and the whole chip is
- * sequentially consistent (no write buffers, one memory op per
- * thread).
+ * CcsvmConfig::protocol, per cluster via cpuProtocol/mttopProtocol)
+ * spans every core, one virtual address space per process spans CPU
+ * and MTTOP threads, and the whole chip is sequentially consistent
+ * (no write buffers, one memory op per thread).
  */
 
 #ifndef CCSVM_SYSTEM_CCSVM_MACHINE_HH
 #define CCSVM_SYSTEM_CCSVM_MACHINE_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,10 +47,20 @@ struct CcsvmConfig
     int numMttopCores = 10;
     int numL2Banks = 4;
 
-    /** Coherence protocol for the whole chip; one protocol spans
-     * every L1 and directory bank, so this overrides the per-cache
+    /** Chip-wide coherence protocol; overrides the per-cache
      * settings in cpuL1/mttopL1/l2 (paper default: MOESI). */
     coherence::Protocol protocol = coherence::Protocol::MOESI;
+
+    /**
+     * Per-cluster heterogeneous protocols: the CPU cluster's L1s and
+     * the MTTOP cluster's L1s may run different protocols against the
+     * shared directory, which mediates mixed pairs (requestor-policy
+     * sole-copy fills; dirty sharing only when both clusters have O).
+     * Unset fields default to `protocol`, so every existing config
+     * behaves exactly as before.
+     */
+    std::optional<coherence::Protocol> cpuProtocol;
+    std::optional<coherence::Protocol> mttopProtocol;
 
     core::CpuCoreConfig cpu;
     core::MttopCoreConfig mttop;
@@ -113,6 +124,17 @@ class CcsvmMachine : public runtime::FunctionalMem
     int numCpuCores() const { return cfg_.numCpuCores; }
     int numMttopCores() const { return cfg_.numMttopCores; }
     coherence::Protocol protocol() const { return cfg_.protocol; }
+    /** Resolved per-cluster protocols (fall back to protocol()). */
+    coherence::Protocol
+    cpuProtocol() const
+    {
+        return cfg_.cpuL1.protocol;
+    }
+    coherence::Protocol
+    mttopProtocol() const
+    {
+        return cfg_.mttopL1.protocol;
+    }
     core::CpuCore &cpuCore(int i) { return *cpuCores_[i]; }
     core::MttopCore &mttopCore(int i) { return *mttopCores_[i]; }
 

@@ -33,6 +33,24 @@ dirtyWritebacks(CcsvmMachine &m)
     return total;
 }
 
+/** Dirty-read writebacks carried home by one cluster's requestors:
+ * dirN.sharingWb.<cluster> summed over every directory bank, where
+ * @p cluster is "cpu" or "mttop". Under a heterogeneous pair this is
+ * the traffic the weaker side pays for reading the other cluster's
+ * dirty lines (and its own, when its protocol lacks O). */
+inline std::uint64_t
+clusterSharingWritebacks(CcsvmMachine &m, const std::string &cluster)
+{
+    std::uint64_t total = 0;
+    for (int b = 0; ; ++b) {
+        const std::string bank = "dir" + std::to_string(b);
+        if (!m.stats().hasCounter(bank + ".sharingWb." + cluster))
+            break;
+        total += m.stats().get(bank + ".sharingWb." + cluster);
+    }
+    return total;
+}
+
 /** Invalidations received across every CPU and MTTOP L1. */
 inline std::uint64_t
 l1Invalidations(CcsvmMachine &m)

@@ -49,9 +49,37 @@ struct CohHarness
     CohHarness(int num_l1s, int num_banks, L1Config l1_cfg = {},
                DirConfig dir_cfg = {},
                Protocol proto = Protocol::MOESI)
+        : CohHarness(Clusters{num_l1s, 0, proto, proto}, num_banks,
+                     l1_cfg, dir_cfg)
+    {}
+
+    /** Cluster split for the heterogeneous constructor. */
+    struct Clusters
     {
-        l1_cfg.protocol = proto;
-        dir_cfg.protocol = proto;
+        int cpuL1s;
+        int mttopL1s;
+        Protocol cpuProto;
+        Protocol mttopProto;
+    };
+
+    /**
+     * Heterogeneous harness: @p split.cpuL1s CPU-cluster L1s
+     * (ids 0..) running split.cpuProto, then split.mttopL1s
+     * MTTOP-cluster L1s running split.mttopProto, against
+     * @p num_banks banks that mediate the pair the way the full
+     * machine's directory does.
+     */
+    CohHarness(const Clusters &split, int num_banks,
+               L1Config l1_cfg = {}, DirConfig dir_cfg = {})
+    {
+        const int num_cpu_l1s = split.cpuL1s;
+        const Protocol cpu_proto = split.cpuProto;
+        const Protocol mttop_proto = split.mttopProto;
+        const int num_l1s = split.cpuL1s + split.mttopL1s;
+        dir_cfg.protocol = cpu_proto;
+        dir_cfg.cpuProtocol = cpu_proto;
+        dir_cfg.mttopProtocol = mttop_proto;
+        dir_cfg.firstMttopL1 = num_cpu_l1s;
         mem::DramConfig dram_cfg;
         dram = std::make_unique<mem::DramCtrl>(eq, stats, "dram",
                                                dram_cfg);
@@ -64,6 +92,8 @@ struct CohHarness
                                                   tcfg);
 
         for (int i = 0; i < num_l1s; ++i) {
+            l1_cfg.protocol =
+                i < num_cpu_l1s ? cpu_proto : mttop_proto;
             l1s.push_back(std::make_unique<L1Controller>(
                 eq, stats, "l1." + std::to_string(i), l1_cfg, i, *net,
                 /*node=*/i, &monitor));

@@ -465,5 +465,215 @@ INSTANTIATE_TEST_SUITE_P(Protocols, CoherenceP,
                          ::testing::ValuesIn(testProtocols()),
                          ProtocolParamName{});
 
+/**
+ * Heterogeneous per-cluster protocols: 2 CPU-cluster L1s (ids 0-1)
+ * and 2 MTTOP-cluster L1s (ids 2-3) against 2 pair-mediating banks,
+ * value-parametrized over all CPU x MTTOP protocol pairs. The
+ * homogeneous pairs pin that the split machinery reproduces the
+ * single-protocol behavior; the mixed pairs pin the directory's
+ * mediation rules.
+ */
+class HeteroCoherenceP : public ::testing::TestWithParam<ProtocolPair>
+{
+  protected:
+    static constexpr int kCpuL1s = 2;
+    static constexpr int kMttopL1s = 2;
+    static constexpr int kBanks = 2;
+    static constexpr int kMttop0 = kCpuL1s; ///< first MTTOP L1 id
+
+    Protocol cpuProto() const { return GetParam().first; }
+    Protocol mttopProto() const { return GetParam().second; }
+
+    CohHarness
+    makeHarness() const
+    {
+        return CohHarness(
+            CohHarness::Clusters{kCpuL1s, kMttopL1s, cpuProto(),
+                                 mttopProto()},
+            kBanks);
+    }
+
+    bool
+    cpuHasE() const
+    {
+        return protocolPolicy(cpuProto()).hasExclusiveState();
+    }
+
+    bool
+    mttopHasE() const
+    {
+        return protocolPolicy(mttopProto()).hasExclusiveState();
+    }
+
+    /** The pair-wise verdict: dirty sharing needs O at both ends. */
+    bool
+    pairDirtyShares() const
+    {
+        return pairAllowsDirtySharing(protocolPolicy(cpuProto()),
+                                      protocolPolicy(mttopProto()));
+    }
+
+    std::uint64_t
+    bankCounter(CohHarness &h, const char *name)
+    {
+        std::uint64_t total = 0;
+        for (int b = 0; b < kBanks; ++b)
+            total += h.stats.get("dir." + std::to_string(b) + "." +
+                                 name);
+        return total;
+    }
+};
+
+TEST_P(HeteroCoherenceP, SoleCopyFillFollowsRequestorCluster)
+{
+    CohHarness h = makeHarness();
+    // A CPU-cluster read is granted E only if the CPU protocol has
+    // it; an MTTOP-cluster read of a different block likewise follows
+    // the MTTOP protocol — on the same directory banks.
+    h.load(0, 0x1000);
+    EXPECT_EQ(h.stateAt(0, 0x1000),
+              cpuHasE() ? CohState::E : CohState::S);
+    h.load(kMttop0, 0x2000);
+    EXPECT_EQ(h.stateAt(kMttop0, 0x2000),
+              mttopHasE() ? CohState::E : CohState::S);
+}
+
+TEST_P(HeteroCoherenceP, CpuOwnerForwardToMttopFollowsPairVerdict)
+{
+    CohHarness h = makeHarness();
+    h.store(0, 0x3000, 0x42);
+    EXPECT_EQ(h.stateAt(0, 0x3000), CohState::M);
+
+    // MTTOP-cluster read of the CPU-dirty line.
+    EXPECT_EQ(h.load(kMttop0, 0x3000), 0x42u);
+    EXPECT_EQ(h.stateAt(kMttop0, 0x3000), CohState::S);
+    // With dirty sharing (both clusters have O) the CPU owner keeps
+    // the block in O; otherwise it must downgrade to S and the data
+    // goes home.
+    EXPECT_EQ(h.stateAt(0, 0x3000),
+              pairDirtyShares() ? CohState::O : CohState::S);
+
+    h.drain();
+    DirState st;
+    L1Id owner;
+    unsigned sharers;
+    Directory &bank = *h.banks[(0x3000 >> 6) % kBanks];
+    ASSERT_TRUE(bank.probe(0x3000, st, owner, sharers));
+    if (pairDirtyShares()) {
+        EXPECT_EQ(st, DirState::O);
+        EXPECT_EQ(owner, 0);
+        EXPECT_EQ(bankCounter(h, "sharingWb"), 0u);
+    } else {
+        EXPECT_EQ(st, DirState::S);
+        EXPECT_EQ(owner, noL1);
+        // The MTTOP requestor carried the dirty data home; the
+        // writeback is charged to its cluster.
+        EXPECT_EQ(bankCounter(h, "sharingWb"), 1u);
+        EXPECT_EQ(bankCounter(h, "sharingWb.mttop"), 1u);
+        EXPECT_EQ(bankCounter(h, "sharingWb.cpu"), 0u);
+    }
+}
+
+TEST_P(HeteroCoherenceP, MttopOwnerDirtyDataIsNeverLost)
+{
+    // The reverse direction: an MTTOP owner's dirty data read by the
+    // CPU cluster. Whatever the pair, a third L1 must observe the
+    // stored value afterwards — when the pair forbids dirty sharing
+    // the CPU requestor carries the data home even if its own
+    // protocol (moesi) would not, or the L2 copy would go stale.
+    CohHarness h = makeHarness();
+    h.store(kMttop0, 0x4000, 0x77);
+    EXPECT_EQ(h.load(0, 0x4000), 0x77u);
+    h.drain();
+    if (!pairDirtyShares()) {
+        EXPECT_EQ(bankCounter(h, "sharingWb"), 1u);
+        EXPECT_EQ(bankCounter(h, "sharingWb.cpu"), 1u);
+        EXPECT_EQ(bankCounter(h, "sharingWb.mttop"), 0u);
+        // The home copy is clean: the block's bytes at the L2 match.
+        std::uint8_t blk[mem::blockBytes];
+        Directory &bank = *h.banks[(0x4000 >> 6) % kBanks];
+        ASSERT_TRUE(bank.funcReadBlock(0x4000, blk));
+        std::uint64_t v = 0;
+        std::memcpy(&v, blk, sizeof(v));
+        EXPECT_EQ(v, 0x77u);
+    }
+    // A second CPU reader sees the value regardless of the path.
+    EXPECT_EQ(h.load(1, 0x4000), 0x77u);
+    // And a write from the other cluster still invalidates everyone.
+    h.store(kMttop0 + 1, 0x4000, 0x88);
+    EXPECT_EQ(h.load(0, 0x4000), 0x88u);
+}
+
+TEST_P(HeteroCoherenceP, MigratoryHandoffChargesTheWeakerCluster)
+{
+    // Token migration inside the MTTOP cluster: read-then-write
+    // hand-offs between MTTOP L1s. Under a pair whose MTTOP side
+    // lacks O every hand-off read pays a writeback at the home,
+    // charged to the MTTOP cluster; CPU-side counters stay at zero.
+    CohHarness h = makeHarness();
+    const Addr addr = 0x5000;
+    h.store(kMttop0, addr, 1);
+    constexpr int kRounds = 4;
+    for (int r = 0; r < kRounds; ++r) {
+        const int dst = kMttop0 + ((r + 1) % 2);
+        EXPECT_EQ(h.load(dst, addr), std::uint64_t(r + 1));
+        h.store(dst, addr, r + 2);
+    }
+    h.drain();
+    const bool mttop_pair_shares =
+        protocolPolicy(mttopProto()).allowsDirtySharing();
+    if (!mttop_pair_shares) {
+        EXPECT_EQ(bankCounter(h, "sharingWb.mttop"),
+                  std::uint64_t(kRounds));
+        EXPECT_EQ(bankCounter(h, "sharingWb.cpu"), 0u);
+    } else {
+        EXPECT_EQ(bankCounter(h, "sharingWb"), 0u);
+    }
+}
+
+TEST_P(HeteroCoherenceP, HomogeneousPairMatchesSingleProtocolStats)
+{
+    // For cpu == mttop pairs the cluster split must be invisible: a
+    // scripted cross-cluster sharing sequence produces exactly the
+    // counters of the legacy single-protocol wiring.
+    if (cpuProto() != mttopProto())
+        GTEST_SKIP() << "mixed pair: no single-protocol equivalent";
+
+    auto script = [](CohHarness &h) {
+        h.store(0, 0x6000, 0xa);
+        h.load(2, 0x6000);
+        h.store(3, 0x6000, 0xb);
+        h.load(0, 0x6040);
+        h.store(1, 0x6040, 0xc);
+        h.load(3, 0x6040);
+        h.amo(2, 0x6080, AmoOp::Add, 5);
+        h.drain();
+    };
+
+    CohHarness hetero = makeHarness();
+    CohHarness legacy(kCpuL1s + kMttopL1s, kBanks, {}, {},
+                      cpuProto());
+    script(hetero);
+    script(legacy);
+
+    for (const char *c :
+         {"getS", "getM", "sharingWb", "writebacks", "fetches"}) {
+        EXPECT_EQ(bankCounter(hetero, c), bankCounter(legacy, c))
+            << "counter " << c;
+    }
+    for (int i = 0; i < kCpuL1s + kMttopL1s; ++i) {
+        const std::string l1 = "l1." + std::to_string(i);
+        for (const char *c : {".hits", ".misses", ".invs", ".fwds"}) {
+            EXPECT_EQ(hetero.stats.get(l1 + c),
+                      legacy.stats.get(l1 + c))
+                << l1 << c;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProtocolPairs, HeteroCoherenceP,
+                         ::testing::ValuesIn(testProtocolPairs()),
+                         ProtocolPairParamName{});
+
 } // namespace
 } // namespace ccsvm::test

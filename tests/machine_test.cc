@@ -11,6 +11,7 @@
 
 #include "runtime/xthreads.hh"
 #include "system/ccsvm_machine.hh"
+#include "system/coherence_stats.hh"
 
 namespace ccsvm::system
 {
@@ -448,6 +449,77 @@ TEST(Machine, SharedCounterAcrossCpuAndMttop)
     }, args);
 
     EXPECT_EQ(proc.peek<std::uint64_t>(counter), 32u * 10 + 80);
+}
+
+TEST(Machine, PerClusterProtocolsResolveFromChipDefault)
+{
+    // Unset per-cluster protocols follow the chip-wide one...
+    CcsvmConfig cfg;
+    cfg.protocol = coherence::Protocol::MESI;
+    CcsvmMachine m(cfg);
+    EXPECT_EQ(m.cpuProtocol(), coherence::Protocol::MESI);
+    EXPECT_EQ(m.mttopProtocol(), coherence::Protocol::MESI);
+
+    // ...and explicit ones override it per cluster.
+    CcsvmConfig mixed;
+    mixed.cpuProtocol = coherence::Protocol::MOESI;
+    mixed.mttopProtocol = coherence::Protocol::MSI;
+    CcsvmMachine hm(mixed);
+    EXPECT_EQ(hm.cpuProtocol(), coherence::Protocol::MOESI);
+    EXPECT_EQ(hm.mttopProtocol(), coherence::Protocol::MSI);
+}
+
+TEST(Machine, HeterogeneousPairSharesOneCounterCorrectly)
+{
+    // The cross-cluster shared-counter workload under the headline
+    // mixed pair (MOESI CPUs, MSI MTTOP): correctness must be
+    // protocol-pair independent, every MTTOP read of a CPU-dirty
+    // line pays a writeback home, and the split counters tile the
+    // sharingWb total.
+    CcsvmConfig cfg;
+    cfg.cpuProtocol = coherence::Protocol::MOESI;
+    cfg.mttopProtocol = coherence::Protocol::MSI;
+    CcsvmMachine m(cfg);
+    Process &proc = m.createProcess();
+    const VAddr counter = proc.gmalloc(8);
+    const VAddr done = proc.gmalloc(16 * 4);
+    const VAddr args = proc.gmalloc(32);
+    proc.poke<std::uint64_t>(counter, 0);
+    proc.poke<std::uint64_t>(args, counter);
+    proc.poke<std::uint64_t>(args + 8, done);
+    for (int i = 0; i < 16; ++i)
+        proc.poke<std::uint32_t>(done + i * 4, 0);
+
+    m.runMain(proc, [](ThreadContext &ctx, VAddr a) -> GuestTask {
+        const VAddr counter_va = co_await ctx.load<std::uint64_t>(a);
+        const VAddr done_va = co_await ctx.load<std::uint64_t>(a + 8);
+        co_await xt::createMthread(
+            ctx,
+            [](ThreadContext &mt, VAddr aa) -> GuestTask {
+                const VAddr c = co_await mt.load<std::uint64_t>(aa);
+                const VAddr d =
+                    co_await mt.load<std::uint64_t>(aa + 8);
+                for (int i = 0; i < 8; ++i)
+                    co_await mt.amo(c, coherence::AmoOp::Inc);
+                co_await xt::mttopSignal(mt, d);
+            },
+            a, 0, 15);
+        for (int i = 0; i < 40; ++i)
+            co_await ctx.amo(counter_va, coherence::AmoOp::Inc);
+        co_await xt::cpuWaitAll(ctx, done_va, 0, 15);
+    }, args);
+
+    EXPECT_EQ(proc.peek<std::uint64_t>(counter), 16u * 8 + 40);
+
+    std::uint64_t wb = 0;
+    for (int b = 0;; ++b) {
+        const std::string bank = "dir" + std::to_string(b);
+        if (!m.stats().hasCounter(bank + ".sharingWb"))
+            break;
+        wb += m.stats().get(bank + ".sharingWb");
+    }
+    EXPECT_EQ(wb, clusterSharingWritebacks(m, "cpu") +
+                      clusterSharingWritebacks(m, "mttop"));
 }
 
 } // namespace

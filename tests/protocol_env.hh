@@ -15,6 +15,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -61,6 +62,38 @@ struct ProtocolParamName
     operator()(const ::testing::TestParamInfo<ParamType> &info) const
     {
         return coherence::protocolName(info.param);
+    }
+};
+
+/** A heterogeneous cluster pairing: CPU-cluster protocol first,
+ * MTTOP-cluster protocol second. */
+using ProtocolPair =
+    std::pair<coherence::Protocol, coherence::Protocol>;
+
+/** Every CPU x MTTOP protocol pairing over testProtocols(), so
+ * CCSVM_PROTOCOLS narrows the pair instantiations the same way it
+ * narrows the single-protocol ones (one protocol -> one pair). */
+inline std::vector<ProtocolPair>
+testProtocolPairs()
+{
+    const std::vector<coherence::Protocol> protos = testProtocols();
+    std::vector<ProtocolPair> out;
+    for (const coherence::Protocol cpu : protos) {
+        for (const coherence::Protocol mttop : protos)
+            out.emplace_back(cpu, mttop);
+    }
+    return out;
+}
+
+/** gtest name generator: "<cpu>_<mttop>". */
+struct ProtocolPairParamName
+{
+    template <typename ParamType>
+    std::string
+    operator()(const ::testing::TestParamInfo<ParamType> &info) const
+    {
+        return std::string(coherence::protocolName(info.param.first)) +
+               "_" + coherence::protocolName(info.param.second);
     }
 };
 

@@ -126,18 +126,36 @@ TEST(Types, PolicyCapabilityMatrix)
     EXPECT_EQ(mesi.soleCopyFill(), MsgType::DataE);
     EXPECT_EQ(moesi.soleCopyFill(), MsgType::DataE);
 
-    // Owner transitions on a forwarded read.
-    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::E), CohState::S);
-    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::M), CohState::O);
-    EXPECT_EQ(moesi.ownerStateOnFwdGetS(CohState::O), CohState::O);
-    for (const auto &p2 : {&msi, &mesi}) {
-        EXPECT_EQ(p2->ownerStateOnFwdGetS(CohState::E), CohState::S);
-        EXPECT_EQ(p2->ownerStateOnFwdGetS(CohState::M), CohState::S);
-    }
+    // Owner transitions on a forwarded read follow the directory's
+    // pair-wise verdict, not the owner's policy alone.
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::E, true), CohState::S);
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::M, true), CohState::O);
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::O, true), CohState::O);
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::E, false), CohState::S);
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::M, false), CohState::S);
+    EXPECT_EQ(ownerStateOnFwdGetS(CohState::O, false), CohState::S);
+}
 
-    EXPECT_TRUE(msi.unblockCarriesDirtyData());
-    EXPECT_TRUE(mesi.unblockCarriesDirtyData());
-    EXPECT_FALSE(moesi.unblockCarriesDirtyData());
+TEST(Types, PairDirtySharingRequiresOAtBothEnds)
+{
+    // All 9 owner x requestor pairs: dirty sharing only when both
+    // clusters run a protocol with the O state (moesi/moesi today).
+    for (const Protocol owner : allProtocols) {
+        for (const Protocol req : allProtocols) {
+            const bool expect = owner == Protocol::MOESI &&
+                                req == Protocol::MOESI;
+            EXPECT_EQ(pairAllowsDirtySharing(protocolPolicy(owner),
+                                             protocolPolicy(req)),
+                      expect)
+                << protocolName(owner) << "/" << protocolName(req);
+        }
+    }
+}
+
+TEST(Types, ProtocolNameListEnumeratesTheTable)
+{
+    EXPECT_EQ(protocolNameList(), "msi, mesi, moesi");
+    EXPECT_EQ(protocolNameList(" | "), "msi | mesi | moesi");
 }
 
 } // namespace

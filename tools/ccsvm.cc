@@ -95,8 +95,14 @@ usage(const char *argv0, std::FILE *out = stdout)
         "(false), lines (readmostly)\n"
         "\n"
         "machine configuration (defaults = paper Table 2):\n"
-        "  --protocol P        coherence protocol: msi | mesi | moesi "
+        "  --protocol P        chip-wide coherence protocol: %s "
         "(default moesi)\n"
+        "  --cpu-protocol P    CPU-cluster protocol (default: "
+        "--protocol)\n"
+        "  --mttop-protocol P  MTTOP-cluster protocol (default: "
+        "--protocol)\n"
+        "  --list-protocols    list every protocol name, one per "
+        "line\n"
         "  --cpu-cores N       in-order CPU cores (default 4)\n"
         "  --mttop-cores N     MTTOP cores (default 10)\n"
         "  --mttop-contexts N  thread contexts per MTTOP core "
@@ -116,7 +122,8 @@ usage(const char *argv0, std::FILE *out = stdout)
         "stdout\n"
         "  --verbose           keep simulator log output\n"
         "  --help              this text\n",
-        argv0, reg.nameList(" | ").c_str());
+        argv0, reg.nameList(" | ").c_str(),
+        coherence::protocolNameList(" | ").c_str());
 }
 
 void
@@ -151,6 +158,22 @@ parseUnsigned(const char *name, const char *value,
         std::exit(2);
     }
     return static_cast<unsigned>(v);
+}
+
+/** Parse a protocol name for a --protocol-family flag; exits 2 with
+ * the accepted names (from the same table --list-protocols prints)
+ * on an unknown value. */
+coherence::Protocol
+parseProtocol(const char *name, const char *value)
+{
+    coherence::Protocol p;
+    if (!coherence::protocolFromName(value, p)) {
+        std::fprintf(stderr,
+                     "ccsvm: %s wants one of %s, got '%s'\n", name,
+                     coherence::protocolNameList(", ").c_str(), value);
+        std::exit(2);
+    }
+    return p;
 }
 
 double
@@ -236,13 +259,17 @@ parseArgs(int argc, char **argv)
                 parseUnsigned("--sharing", next());
             wlFlag();
         } else if (arg == "--protocol") {
-            const char *v = next();
-            if (!coherence::protocolFromName(v, o.cfg.protocol)) {
-                std::fprintf(stderr,
-                             "ccsvm: --protocol wants msi, mesi or "
-                             "moesi, got '%s'\n", v);
-                std::exit(2);
-            }
+            o.cfg.protocol = parseProtocol("--protocol", next());
+        } else if (arg == "--cpu-protocol") {
+            o.cfg.cpuProtocol =
+                parseProtocol("--cpu-protocol", next());
+        } else if (arg == "--mttop-protocol") {
+            o.cfg.mttopProtocol =
+                parseProtocol("--mttop-protocol", next());
+        } else if (arg == "--list-protocols") {
+            for (const auto p : coherence::allProtocols)
+                std::printf("%s\n", coherence::protocolName(p));
+            std::exit(0);
         } else if (arg == "--cpu-cores") {
             o.cfg.numCpuCores =
                 static_cast<int>(parseUnsigned("--cpu-cores", next()));
@@ -347,7 +374,13 @@ writeJson(const DriverOptions &o,
        << ", \"sharing\": " << p.synth.sharingDegree
        << "},\n"
        << "  \"machine\": {\"protocol\": \""
-       << coherence::protocolName(o.cfg.protocol)
+       << (m.cpuProtocol() == m.mttopProtocol()
+               ? coherence::protocolName(m.cpuProtocol())
+               : "heterogeneous")
+       << "\", \"cpu_protocol\": \""
+       << coherence::protocolName(m.cpuProtocol())
+       << "\", \"mttop_protocol\": \""
+       << coherence::protocolName(m.mttopProtocol())
        << "\", \"cpu_cores\": " << o.cfg.numCpuCores
        << ", \"mttop_cores\": " << o.cfg.numMttopCores
        << ", \"mttop_contexts\": " << o.cfg.mttop.numContexts
@@ -392,10 +425,18 @@ main(int argc, char **argv)
                       "off-chip DRAM transactions in the measured "
                       "region") += r.dramAccesses;
 
+    // Homogeneous runs keep the historical single-name spelling;
+    // mixed pairs print both sides.
+    const std::string proto_str =
+        m.cpuProtocol() == m.mttopProtocol()
+            ? coherence::protocolName(m.cpuProtocol())
+            : std::string("cpu:") +
+                  coherence::protocolName(m.cpuProtocol()) +
+                  "/mttop:" +
+                  coherence::protocolName(m.mttopProtocol());
     std::printf("ccsvm: workload=%s protocol=%s ticks=%llu "
                 "sim_ms=%.3f dram=%llu correct=%s\n",
-                o.workload.c_str(),
-                coherence::protocolName(o.cfg.protocol),
+                o.workload.c_str(), proto_str.c_str(),
                 (unsigned long long)r.ticks,
                 static_cast<double>(r.ticks) /
                     static_cast<double>(tickMs),
