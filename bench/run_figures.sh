@@ -12,7 +12,7 @@ OUT_DIR="${2:-figures-json}"
 
 FIGURES=(fig5_matmul fig6_apsp fig7_barneshut fig8_spmm fig9_dram
          abl_launch abl_tlb abl_atomics abl_protocol abl_synth
-         abl_hetero)
+         abl_hetero abl_region)
 
 mkdir -p "$OUT_DIR"
 for fig in "${FIGURES[@]}"; do

@@ -63,3 +63,20 @@ for pattern in $SYNTH_PATTERNS; do
             --protocol "$proto"
     done
 done
+
+# Region-based coherence smoke: the per-workload default annotations
+# (synth:stream buffer -> bypass, matmul inputs -> read-mostly) and an
+# explicit whole-heap region must validate under every protocol. The
+# quantitative assertions (fewer fills/invalidations under bypass,
+# byte-identical default runs) live in the ccsvm_region_sweep ctest,
+# which the full pass above already ran — in the sanitizer lane too.
+for proto in $PROTOCOLS; do
+    echo "=== region smoke: protocol=$proto ==="
+    "$BUILD_DIR"/tools/ccsvm --workload synth:stream --iters 4 \
+        --protocol "$proto" --region-hints
+    "$BUILD_DIR"/tools/ccsvm --workload matmul --n 8 \
+        --protocol "$proto" --region-hints
+    "$BUILD_DIR"/tools/ccsvm --workload synth:hot --iters 8 \
+        --protocol "$proto" \
+        --region heap:0x20000000:0x40000000:bypass
+done

@@ -1,6 +1,7 @@
 #include "coherence/directory.hh"
 
 #include <bit>
+#include <cstring>
 
 #include "base/logging.hh"
 
@@ -32,8 +33,20 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
       getM_(stats.counter(name + ".getM", "GetM requests processed")),
       fetches_(stats.counter(name + ".fetches",
                              "off-chip fills into the L2")),
+      fetchesCoherent_(stats.counter(name + ".fetches.coherent",
+                                     "off-chip fills for default-"
+                                     "coherent blocks")),
+      fetchesOverride_(stats.counter(name + ".fetches.override",
+                                     "off-chip fills for protocol-"
+                                     "override blocks")),
       writebacks_(stats.counter(name + ".writebacks",
                                 "dirty L2 evictions written off-chip")),
+      bypassReads_(stats.counter(name + ".bypassReads",
+                                 "uncacheable bypass-region reads "
+                                 "served at the home")),
+      bypassWrites_(stats.counter(name + ".bypassWrites",
+                                  "uncacheable bypass-region writes/"
+                                  "atomics served at the home")),
       sharingWb_(stats.counter(name + ".sharingWb",
                                "dirty blocks made clean at the home "
                                "on a read (protocols without O)")),
@@ -49,6 +62,12 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
       invsSentMttop_(stats.counter(name + ".invsSent.mttop",
                                    "invalidations sent to "
                                    "MTTOP-cluster L1s")),
+      invsSentCoherent_(stats.counter(name + ".invsSent.coherent",
+                                      "invalidations for default-"
+                                      "coherent blocks")),
+      invsSentOverride_(stats.counter(name + ".invsSent.override",
+                                      "invalidations for protocol-"
+                                      "override blocks")),
       recallsStat_(stats.counter(name + ".recalls",
                                  "inclusive-eviction recalls")),
       stalls_(stats.counter(name + ".stalls",
@@ -163,6 +182,29 @@ Directory::policyFor(L1Id id) const
     return isMttopL1(id) ? *mttopPolicy_ : *cpuPolicy_;
 }
 
+const ProtocolPolicy &
+Directory::policyForReq(const CohMsg &msg) const
+{
+    if (msg.region == RegionAttr::ProtocolOverride)
+        return protocolPolicy(msg.regionProt);
+    return policyFor(msg.sender);
+}
+
+const ProtocolPolicy &
+Directory::policyFor(const L2Line &line, L1Id id) const
+{
+    if (line.region == RegionAttr::ProtocolOverride)
+        return protocolPolicy(line.regionProt);
+    return policyFor(id);
+}
+
+void
+Directory::stampRegion(L2Line &line, const CohMsg &msg)
+{
+    line.region = msg.region;
+    line.regionProt = msg.regionProt;
+}
+
 // ---------------------------------------------------------------------
 // Dispatch and stalling
 // ---------------------------------------------------------------------
@@ -180,7 +222,10 @@ Directory::handleMessage(CohMsg msg)
       case MsgType::GetS:
       case MsgType::GetM:
       case MsgType::PutS:
-      case MsgType::PutOwned: {
+      case MsgType::PutOwned:
+      case MsgType::BypassRead:
+      case MsgType::BypassWrite:
+      case MsgType::BypassAmo: {
         L2Line *line = array_.lookup(msg.blockAddr);
         if (line && line->busy) {
             ++stalls_;
@@ -221,6 +266,11 @@ Directory::processRequest(CohMsg &msg)
         return;
       case MsgType::PutOwned:
         processPutOwned(msg, line);
+        return;
+      case MsgType::BypassRead:
+      case MsgType::BypassWrite:
+      case MsgType::BypassAmo:
+        processBypass(msg, line);
         return;
       default:
         ccsvm_panic("unreachable");
@@ -269,6 +319,7 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
     }
 
     line->busy = true;
+    stampRegion(*line, msg);
     array_.touch(line);
     Txn &txn = txns_[msg.blockAddr];
     txn.req = MsgType::GetS;
@@ -283,9 +334,10 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
         rsp.data = line->data;
         if (line->sharers == 0 && line->owner == noL1) {
             // No cached copies anywhere: grant the best read state
-            // the requestor's cluster protocol offers (E under
-            // MESI/MOESI, S under MSI).
-            rsp.type = policyFor(msg.sender).soleCopyFill();
+            // the requestor's protocol offers (E under MESI/MOESI,
+            // S under MSI) — the region's override protocol when the
+            // page carries one, else the requestor's cluster policy.
+            rsp.type = policyForReq(msg).soleCopyFill();
         } else {
             rsp.type = MsgType::DataS;
         }
@@ -308,9 +360,10 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
     // Pair-wise mediation: the owner may keep a dirty copy (O) only
     // when both its cluster and the requestor's have the O state;
     // otherwise it downgrades and the requestor carries dirty data
-    // home on its Unblock.
+    // home on its Unblock. A protocol-override region binds both
+    // ends to the region protocol instead.
     fwd.allowDirtySharing = pairAllowsDirtySharing(
-        policyFor(line->owner), policyFor(msg.sender));
+        policyFor(*line, line->owner), policyFor(*line, msg.sender));
     sendToL1(line->owner, std::move(fwd), cfg_.ctrlLatency);
 }
 
@@ -323,6 +376,7 @@ Directory::processGetM(CohMsg &msg, L2Line *line)
     }
 
     line->busy = true;
+    stampRegion(*line, msg);
     array_.touch(line);
     Txn &txn = txns_[msg.blockAddr];
     txn.req = MsgType::GetM;
@@ -397,6 +451,9 @@ Directory::sendInvs(L2Line &line, L1Id skip, L1Id ack_dest)
         inv.blockAddr = line.addr;
         inv.requestor = ack_dest;
         ++(isMttopL1(id) ? invsSentMttop_ : invsSentCpu_);
+        ++(line.region == RegionAttr::ProtocolOverride
+               ? invsSentOverride_
+               : invsSentCoherent_);
         sendToL1(id, std::move(inv), cfg_.ctrlLatency);
     }
 }
@@ -481,6 +538,125 @@ Directory::processPutOwned(CohMsg &msg, L2Line *line)
 }
 
 // ---------------------------------------------------------------------
+// Bypass-region ops (uncacheable, performed at the home)
+// ---------------------------------------------------------------------
+
+void
+Directory::processBypass(CohMsg &msg, L2Line *line)
+{
+    ccsvm_assert(msg.reqSize > 0 && msg.reqSize <= 8 &&
+                     msg.reqOffset + msg.reqSize <= mem::blockBytes,
+                 "malformed bypass op: off=%u size=%u", msg.reqOffset,
+                 msg.reqSize);
+    // A bypass region is never cached: its attribute covers every
+    // access to its pages, so no L1 can hold a copy. Catch misuse
+    // (e.g. a region added after its pages were already cached)
+    // before it turns into silent incoherence.
+    ccsvm_assert(!line || (line->owner == noL1 && line->sharers == 0),
+                 "bypass op to block 0x%llx still cached by L1s",
+                 (unsigned long long)msg.blockAddr);
+
+    const bool is_read = msg.type == MsgType::BypassRead;
+    ++(is_read ? bypassReads_ : bypassWrites_);
+
+    // Capture only scalars: a CohMsg carries a 64-byte data array,
+    // and copying whole messages into nested std::function closures
+    // would put a heap allocation on every uncached op of a
+    // bypass-heavy sweep.
+    const L1Id requestor = msg.sender;
+    const Addr block = msg.blockAddr;
+    const std::uint64_t id = msg.bypassId;
+    auto respond = [this, requestor, block, id](std::uint64_t v,
+                                                Tick latency) {
+        CohMsg rsp;
+        rsp.type = MsgType::BypassResp;
+        rsp.blockAddr = block;
+        rsp.bypassId = id;
+        rsp.wdata = v;
+        sendToL1(requestor, std::move(rsp), latency);
+    };
+
+    if (line && !cfg_.memoryResident) {
+        // Resident L2 copy: the op runs against it at L2 latency. A
+        // write leaves the line dirty; the normal recall/writeback
+        // path flushes it off-chip eventually.
+        array_.touch(line);
+        std::uint64_t old_val = 0;
+        std::memcpy(&old_val, line->data.data() + msg.reqOffset,
+                    msg.reqSize);
+        std::uint64_t result = old_val;
+        if (msg.type == MsgType::BypassWrite) {
+            std::memcpy(line->data.data() + msg.reqOffset, &msg.wdata,
+                        msg.reqSize);
+            line->dirty = true;
+            result = 0;
+        } else if (msg.type == MsgType::BypassAmo) {
+            const std::uint64_t new_val = amoApply(
+                msg.amoOp, old_val, msg.operand, msg.operand2);
+            std::memcpy(line->data.data() + msg.reqOffset, &new_val,
+                        msg.reqSize);
+            line->dirty = true;
+        }
+        respond(result, cfg_.l2DataLatency);
+        return;
+    }
+
+    // No resident copy (or a directory-at-memory bank, whose data
+    // always lives off-chip): the op is a DRAM transaction. PhysMem
+    // is authoritative here — nothing caches a bypass block — and the
+    // op is applied inside the DRAM callback so racing bypass ops to
+    // the same word serialize in event order. The resident-but-
+    // memory-resident line copy (kept current by the fetch path) is
+    // patched too so later serveData calls see the write.
+    const unsigned off = msg.reqOffset;
+    const unsigned size = msg.reqSize;
+    const Addr pa = block + off;
+    switch (msg.type) {
+      case MsgType::BypassRead:
+        dram_->access(false, mem::blockBytes,
+                      [this, pa, size, respond] {
+                          respond(phys_->readScalar(pa, size),
+                                  cfg_.ctrlLatency);
+                      });
+        return;
+      case MsgType::BypassWrite: {
+        const std::uint64_t wdata = msg.wdata;
+        dram_->access(true, mem::blockBytes,
+                      [this, block, pa, off, size, wdata, respond] {
+            phys_->writeScalar(pa, wdata, size);
+            if (L2Line *l = array_.lookup(block))
+                std::memcpy(l->data.data() + off, &wdata, size);
+            respond(0, cfg_.ctrlLatency);
+        });
+        return;
+      }
+      case MsgType::BypassAmo: {
+        // Read-modify-write at memory, like the APU's uncached
+        // atomics: one read plus one write transaction.
+        const AmoOp op = msg.amoOp;
+        const std::uint64_t operand = msg.operand;
+        const std::uint64_t operand2 = msg.operand2;
+        dram_->access(false, mem::blockBytes,
+                      [this, block, pa, off, size, op, operand,
+                       operand2, respond] {
+            const std::uint64_t old_val = phys_->readScalar(pa, size);
+            const std::uint64_t new_val =
+                amoApply(op, old_val, operand, operand2);
+            phys_->writeScalar(pa, new_val, size);
+            if (L2Line *l = array_.lookup(block))
+                std::memcpy(l->data.data() + off, &new_val, size);
+            dram_->access(true, mem::blockBytes, [old_val, respond] {
+                respond(old_val, 0);
+            });
+        });
+        return;
+      }
+      default:
+        ccsvm_panic("unreachable");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Unblock
 // ---------------------------------------------------------------------
 
@@ -507,8 +683,8 @@ Directory::processUnblock(CohMsg &msg)
             // reachable when this directory offered dirty sharing to
             // the pair, i.e. both clusters have O.
             ccsvm_assert(pairAllowsDirtySharing(
-                             policyFor(txn.oldOwner),
-                             policyFor(txn.requestor)),
+                             policyFor(*line, txn.oldOwner),
+                             policyFor(*line, txn.requestor)),
                          "dirty-shared Unblock under a pair without O");
             line->st = DirState::O;
             line->owner = txn.oldOwner;
@@ -572,11 +748,15 @@ Directory::allocateAndFetch(CohMsg msg)
     line->owner = noL1;
     line->sharers = 0;
     line->dirty = false;
+    stampRegion(*line, msg);
 
     ++fetches_;
+    ++(msg.region == RegionAttr::ProtocolOverride ? fetchesOverride_
+                                                  : fetchesCoherent_);
     const Addr addr = msg.blockAddr;
     const L1Id requestor = msg.sender;
     const bool want_m = msg.type == MsgType::GetM;
+    const ProtocolPolicy *req_policy = &policyForReq(msg);
 
     Txn &txn = txns_[addr];
     txn.req = want_m ? MsgType::GetM : MsgType::GetS;
@@ -585,7 +765,7 @@ Directory::allocateAndFetch(CohMsg msg)
     txn.oldOwner = noL1;
 
     dram_->access(false, mem::blockBytes, [this, addr, requestor,
-                                           want_m] {
+                                           want_m, req_policy] {
         L2Line *l = array_.lookup(addr);
         ccsvm_assert(l && l->busy, "fetched line vanished");
         phys_->readBlock(addr, l->data.data());
@@ -595,9 +775,9 @@ Directory::allocateAndFetch(CohMsg msg)
         rsp.hasData = true;
         rsp.data = l->data;
         // Fresh from memory: nobody else holds it; a read fill gets
-        // the best state the requestor's cluster protocol offers.
-        rsp.type = want_m ? MsgType::DataM
-                          : policyFor(requestor).soleCopyFill();
+        // the best state the requestor's (region or cluster) protocol
+        // offers.
+        rsp.type = want_m ? MsgType::DataM : req_policy->soleCopyFill();
         rsp.ackCount = 0;
         sendToL1(requestor, std::move(rsp), cfg_.l2DataLatency);
     });

@@ -124,6 +124,12 @@ class Directory
         DirState st = DirState::S;
         L1Id owner = noL1;
         std::uint32_t sharers = 0;
+        /** Region class of the block, recorded from its requests. A
+         * block belongs to exactly one VM region, so every request
+         * agrees; ProtocolOverride lines resolve both ends of a
+         * transaction against regionProt instead of the clusters'. */
+        RegionAttr region = RegionAttr::Coherent;
+        Protocol regionProt{};
         std::array<std::uint8_t, mem::blockBytes> data{};
     };
 
@@ -147,6 +153,10 @@ class Directory
     void processRequest(CohMsg &msg);
     void processGetS(CohMsg &msg, L2Line *line);
     void processGetM(CohMsg &msg, L2Line *line);
+    /** Uncacheable scalar op from a bypass region: run it at the home
+     * (resident L2 copy, else DRAM) without allocating or granting
+     * any L1 permission. */
+    void processBypass(CohMsg &msg, L2Line *line);
     void processPutS(CohMsg &msg, L2Line *line);
     void processPutOwned(CohMsg &msg, L2Line *line);
     void processUnblock(CohMsg &msg);
@@ -175,6 +185,14 @@ class Directory
     bool isMttopL1(L1Id id) const;
     /** The protocol policy governing L1 @p id's cluster. */
     const ProtocolPolicy &policyFor(L1Id id) const;
+    /** The policy governing a request: the region's override when the
+     * request carries one, else the requestor's cluster policy. */
+    const ProtocolPolicy &policyForReq(const CohMsg &msg) const;
+    /** The policy governing L1 @p id's side of a transaction on
+     * @p line: the line's region override, else its cluster policy. */
+    const ProtocolPolicy &policyFor(const L2Line &line, L1Id id) const;
+    /** Record the request's region class on the line. */
+    static void stampRegion(L2Line &line, const CohMsg &msg);
     void sendInvs(L2Line &line, L1Id skip, L1Id ack_dest);
     void sendToL1(L1Id dst, CohMsg msg, Tick extra_latency);
     void sendPutAck(Addr block_addr, L1Id dst);
@@ -203,7 +221,16 @@ class Directory
     sim::Counter &getS_;
     sim::Counter &getM_;
     sim::Counter &fetches_;
+    /** fetches split by the requesting block's region class (bypass
+     * regions never fill the L2, so they have no fetch counter —
+     * their traffic shows up as bypassReads/bypassWrites instead). */
+    sim::Counter &fetchesCoherent_;
+    sim::Counter &fetchesOverride_;
     sim::Counter &writebacks_;
+    /** Uncacheable ops served at the home for bypass regions (an AMO
+     * counts as a write). */
+    sim::Counter &bypassReads_;
+    sim::Counter &bypassWrites_;
     sim::Counter &sharingWb_;
     /** sharingWb split by the cluster of the requestor that carried
      * the dirty data home (the side paying the writeback). */
@@ -212,6 +239,9 @@ class Directory
     /** Invalidations sent, split by destination cluster. */
     sim::Counter &invsSentCpu_;
     sim::Counter &invsSentMttop_;
+    /** Invalidations sent, split by the block's region class. */
+    sim::Counter &invsSentCoherent_;
+    sim::Counter &invsSentOverride_;
     sim::Counter &recallsStat_;
     sim::Counter &stalls_;
 };

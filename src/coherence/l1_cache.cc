@@ -22,7 +22,10 @@ L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
       fwdsServed_(stats.counter(name + ".fwds",
                                 "cache-to-cache transfers supplied")),
       upgrades_(stats.counter(name + ".upgrades",
-                              "S/O-to-M upgrade transactions"))
+                              "S/O-to-M upgrade transactions")),
+      bypassOps_(stats.counter(name + ".bypassOps",
+                               "bypass-region ops sent uncached to "
+                               "the home"))
 {}
 
 void
@@ -118,9 +121,24 @@ L1Controller::completeOp(MemRequestPtr req, std::uint64_t value)
                     [cb = std::move(cb), value] { cb(value); });
 }
 
+const ProtocolPolicy &
+L1Controller::linePolicy(const Line &line) const
+{
+    return line.policy ? *line.policy : *policy_;
+}
+
 void
 L1Controller::access(MemRequestPtr req)
 {
+    if (req->region == RegionAttr::Bypass) {
+        // Bypass regions are never cached, so the block cannot be in
+        // the array, the victim buffer or an MSHR; the op goes
+        // straight to the home node as an uncacheable access.
+        ++bypassOps_;
+        issueBypass(std::move(req));
+        return;
+    }
+
     const Addr block = mem::blockAlign(req->paddr);
 
     // Block mid-eviction: wait for the PutAck, then retry.
@@ -156,10 +174,58 @@ L1Controller::access(MemRequestPtr req)
     auto &entry = mshrs_[block];
     entry.blockAddr = block;
     entry.wantM = req->needsWrite();
+    entry.region = req->region;
+    entry.regionProt = req->regionProt;
+    entry.policy = req->region == RegionAttr::ProtocolOverride
+                       ? &protocolPolicy(req->regionProt)
+                       : policy_;
     if (entry.wantM && line)
         ++upgrades_;
     entry.ops.push_back(std::move(req));
     startTransaction(entry);
+}
+
+void
+L1Controller::issueBypass(MemRequestPtr req)
+{
+    const Addr block = mem::blockAlign(req->paddr);
+    CohMsg msg;
+    switch (req->kind) {
+      case MemRequest::Kind::Read:
+        msg.type = MsgType::BypassRead;
+        break;
+      case MemRequest::Kind::Write:
+        msg.type = MsgType::BypassWrite;
+        msg.wdata = req->wdata;
+        break;
+      case MemRequest::Kind::Amo:
+        msg.type = MsgType::BypassAmo;
+        msg.amoOp = req->amoOp;
+        msg.operand = req->operand;
+        msg.operand2 = req->operand2;
+        break;
+    }
+    msg.blockAddr = block;
+    msg.sender = id_;
+    msg.requestor = id_;
+    msg.region = RegionAttr::Bypass;
+    msg.reqOffset = static_cast<unsigned>(req->paddr - block);
+    msg.reqSize = req->size;
+    msg.bypassId = nextBypassId_++;
+    bypassPending_.emplace(msg.bypassId, std::move(req));
+    sendToDir(std::move(msg));
+}
+
+void
+L1Controller::handleBypassResp(CohMsg &msg)
+{
+    auto it = bypassPending_.find(msg.bypassId);
+    ccsvm_assert(it != bypassPending_.end(),
+                 "BypassResp id %llu without pending op at L1 %d",
+                 (unsigned long long)msg.bypassId, id_);
+    MemRequestPtr req = std::move(it->second);
+    bypassPending_.erase(it);
+    completeOp(std::move(req), msg.wdata);
 }
 
 void
@@ -180,6 +246,8 @@ L1Controller::startTransaction(MshrEntry &entry)
     msg.blockAddr = entry.blockAddr;
     msg.sender = id_;
     msg.requestor = id_;
+    msg.region = entry.region;
+    msg.regionProt = entry.regionProt;
     sendToDir(std::move(msg));
 }
 
@@ -265,6 +333,7 @@ L1Controller::finalizeFill(MshrEntry &entry)
         }
     }
 
+    line->policy = entry.policy ? entry.policy : policy_;
     if (entry.dataReceived) {
         line->data = entry.data;
         setLineState(*line, entry.fillState);
@@ -382,6 +451,9 @@ L1Controller::handleMessage(CohMsg msg)
       case MsgType::PutAck:
         handlePutAck(msg);
         break;
+      case MsgType::BypassResp:
+        handleBypassResp(msg);
+        break;
       default:
         ccsvm_panic("L1 %d received unexpected %s", id_,
                     msgTypeName(msg.type));
@@ -415,10 +487,10 @@ L1Controller::handleFwdGetS(CohMsg &msg)
         const CohState next =
             ownerStateOnFwdGetS(line->state, msg.allowDirtySharing);
         ccsvm_assert(next != CohState::O ||
-                         policy_->allowsDirtySharing(),
-                     "L1 %d offered O but its protocol (%s) lacks it "
-                     "(L1/directory protocol mismatch?)",
-                     id_, policy_->name());
+                         linePolicy(*line).allowsDirtySharing(),
+                     "L1 %d offered O but this block's protocol (%s) "
+                     "lacks it (L1/directory protocol mismatch?)",
+                     id_, linePolicy(*line).name());
         rsp.ownerRetained = next == CohState::O;
         setLineState(*line, next);
         sendToL1(msg.requestor, std::move(rsp));
@@ -566,10 +638,10 @@ L1Controller::handleData(CohMsg &msg)
         entry.acksExpected = 0;
         break;
       case MsgType::DataE:
-        ccsvm_assert(policy_->hasExclusiveState(),
-                     "DataE at L1 %d whose protocol (%s) has no E "
-                     "(L1/directory protocol mismatch?)",
-                     id_, policy_->name());
+        ccsvm_assert(entry.policy->hasExclusiveState(),
+                     "DataE at L1 %d for a block whose protocol (%s) "
+                     "has no E (L1/directory protocol mismatch?)",
+                     id_, entry.policy->name());
         entry.dataReceived = true;
         entry.data = msg.data;
         entry.fillState = CohState::E;

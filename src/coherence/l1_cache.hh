@@ -97,7 +97,11 @@ class L1Controller
     CohState stateOf(Addr block_addr);
 
     /** Outstanding transactions (for drain checks in tests). */
-    std::size_t pendingTransactions() const { return mshrs_.size(); }
+    std::size_t
+    pendingTransactions() const
+    {
+        return mshrs_.size() + bypassPending_.size();
+    }
 
     /**
      * Functional probe: if this L1 holds @p block_addr in an owner
@@ -118,6 +122,9 @@ class L1Controller
         Addr addr = invalidAddr;
         bool valid = false;
         CohState state = CohState::I;
+        /** Policy governing this block: the region's override
+         * protocol, or the cluster default. Set on every fill. */
+        const ProtocolPolicy *policy = nullptr;
         std::array<std::uint8_t, mem::blockBytes> data{};
     };
 
@@ -140,6 +147,13 @@ class L1Controller
         std::array<std::uint8_t, mem::blockBytes> data{};
         std::deque<MemRequestPtr> ops;
         bool unblockSent = false;
+        /** Region class of the block (uniform across coalesced ops:
+         * regions are page-granular, blocks never span pages). */
+        RegionAttr region = RegionAttr::Coherent;
+        Protocol regionProt{};
+        /** Resolved policy for this transaction (override or cluster
+         * default). */
+        const ProtocolPolicy *policy = nullptr;
     };
 
     /** Victim buffer entry: eviction awaiting PutAck. */
@@ -149,6 +163,13 @@ class L1Controller
         std::array<std::uint8_t, mem::blockBytes> data{};
         std::deque<MemRequestPtr> waiters;
     };
+
+    // --- region-bypass path (uncacheable ops at the home node) ---
+    void issueBypass(MemRequestPtr req);
+    void handleBypassResp(CohMsg &msg);
+
+    /** Policy governing @p line (region override or cluster default). */
+    const ProtocolPolicy &linePolicy(const Line &line) const;
 
     // --- protocol actions ---
     void startTransaction(MshrEntry &entry);
@@ -195,6 +216,9 @@ class L1Controller
     cache::CacheArray<Line> array_;
     std::unordered_map<Addr, MshrEntry> mshrs_;
     std::unordered_map<Addr, EvictEntry> evicts_;
+    /** Outstanding bypass ops awaiting their BypassResp, by id. */
+    std::unordered_map<std::uint64_t, MemRequestPtr> bypassPending_;
+    std::uint64_t nextBypassId_ = 0;
     std::deque<MemRequestPtr> overflow_;
     std::vector<Addr> stalledFills_;
 
@@ -207,6 +231,7 @@ class L1Controller
     sim::Counter &invsReceived_;
     sim::Counter &fwdsServed_;
     sim::Counter &upgrades_;
+    sim::Counter &bypassOps_;
 };
 
 } // namespace ccsvm::coherence

@@ -36,6 +36,13 @@ struct MemRequest
     std::uint64_t operand = 0;  ///< AMO operand (compare value for CAS)
     std::uint64_t operand2 = 0; ///< AMO second operand (CAS swap value)
 
+    /** Region attribute of the page this access targets (carried by
+     * the TLB alongside the translation). Bypass requests skip the L1
+     * array entirely; ProtocolOverride requests are driven by
+     * regionProt instead of the cluster's protocol. */
+    RegionAttr region = RegionAttr::Coherent;
+    Protocol regionProt{}; ///< valid when region == ProtocolOverride
+
     /** Completion callback; the argument is the loaded value (loads)
      * or the old value (atomics); 0 for stores. */
     std::function<void(std::uint64_t)> onDone;

@@ -32,6 +32,14 @@ SwmrMonitor::onSetState(L1Id id, Addr block_addr, CohState s)
         break;
       case CohState::E:
       case CohState::M:
+        // The previous record for this L1 was erased above, so any
+        // surviving writer is a *different* L1 — two simultaneous
+        // writers, which check() alone cannot see (it has one writer
+        // slot, and silently overwriting it would hide the second).
+        ccsvm_assert(info.writer == noL1,
+                     "SWMR violated: block 0x%llx has two writers, "
+                     "L1 %d and L1 %d",
+                     (unsigned long long)block_addr, info.writer, id);
         info.writer = id;
         break;
     }

@@ -30,6 +30,9 @@ enum class MsgType : std::uint8_t
     GetM,      ///< write permission
     PutS,      ///< shared-copy eviction notice
     PutOwned,  ///< E/M/O eviction; carries data when dirty
+    BypassRead,  ///< uncacheable scalar read at the home node
+    BypassWrite, ///< uncacheable scalar write at the home node
+    BypassAmo,   ///< uncacheable atomic RMW at the home node
 
     // Forward vnet: directory -> L1.
     FwdGetS,   ///< supply data to requestor, keep O/S copy
@@ -47,6 +50,7 @@ enum class MsgType : std::uint8_t
     RecallAck,   ///< shared copy surrendered to dir
     RecallData,  ///< owned copy surrendered to dir, with data
     Unblock,     ///< requestor closes the directory transaction
+    BypassResp,  ///< value (load/old) of a completed bypass op
 };
 
 const char *msgTypeName(MsgType t);
@@ -94,10 +98,36 @@ struct CohMsg
      * making the home copy clean, whatever its own protocol. */
     bool ownerRetained = false;
 
+    /** GetS/GetM: the requestor's region class for this block, so the
+     * directory can resolve an override protocol and split its fill/
+     * invalidation counters per region class. */
+    RegionAttr region = RegionAttr::Coherent;
+    /** Region protocol when region == ProtocolOverride. */
+    Protocol regionProt{};
+
+    /** Bypass* ops: scalar payload. The op targets reqSize bytes at
+     * blockAddr + reqOffset; BypassResp echoes bypassId and carries
+     * the load (or pre-RMW) value in wdata. */
+    std::uint64_t bypassId = 0;
+    unsigned reqOffset = 0;
+    unsigned reqSize = 0;
+    std::uint64_t wdata = 0;
+    AmoOp amoOp = AmoOp::Add;
+    std::uint64_t operand = 0;
+    std::uint64_t operand2 = 0;
+
     unsigned
     wireBytes() const
     {
-        return hasData ? dataMsgBytes : ctrlMsgBytes;
+        switch (type) {
+          case MsgType::BypassWrite:
+          case MsgType::BypassAmo:
+          case MsgType::BypassResp:
+            // Scalar payload: 8 B header + up-to-8 B operand packet.
+            return ctrlMsgBytes + 8;
+          default:
+            return hasData ? dataMsgBytes : ctrlMsgBytes;
+        }
     }
 
     noc::VNet
@@ -108,6 +138,9 @@ struct CohMsg
           case MsgType::GetM:
           case MsgType::PutS:
           case MsgType::PutOwned:
+          case MsgType::BypassRead:
+          case MsgType::BypassWrite:
+          case MsgType::BypassAmo:
             return noc::VNet::Request;
           case MsgType::FwdGetS:
           case MsgType::FwdGetM:

@@ -46,13 +46,8 @@
 namespace ccsvm::coherence
 {
 
-/** Selectable coherence protocols, ordered weakest to strongest. */
-enum class Protocol : std::uint8_t
-{
-    MSI,
-    MESI,
-    MOESI,
-};
+// Protocol itself lives in coherence/types.hh so the VM layer's
+// region table can name one without pulling in this header.
 
 /** Every selectable protocol, in enum order. The driver's
  * --list-protocols, its usage/error text and CI's protocol loops all

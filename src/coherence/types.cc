@@ -31,6 +31,17 @@ dirStateName(DirState s)
     return "?";
 }
 
+const char *
+regionAttrName(RegionAttr a)
+{
+    switch (a) {
+      case RegionAttr::Coherent: return "coherent";
+      case RegionAttr::Bypass: return "bypass";
+      case RegionAttr::ProtocolOverride: return "override";
+    }
+    return "?";
+}
+
 std::uint64_t
 amoApply(AmoOp op, std::uint64_t old_val, std::uint64_t operand,
          std::uint64_t operand2)

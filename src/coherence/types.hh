@@ -57,6 +57,40 @@ const char *dirStateName(DirState s);
 using L1Id = int;
 inline constexpr L1Id noL1 = -1;
 
+/**
+ * Selectable coherence protocols, ordered weakest to strongest.
+ * Defined here rather than protocol.hh so the VM layer can tag memory
+ * regions with a protocol override without pulling the policy and
+ * message headers into every translation path.
+ */
+enum class Protocol : std::uint8_t
+{
+    MSI,
+    MESI,
+    MOESI,
+};
+
+/**
+ * Per-region coherence treatment. A virtual-memory region carries one
+ * of these attributes (vm::MemRegion); the TLB hands it to the core
+ * with every translation and the L1/directory honor it per request.
+ */
+enum class RegionAttr : std::uint8_t
+{
+    /** Default: full hardware coherence under the cluster protocol. */
+    Coherent,
+    /** Uncacheable: the L1 never allocates; reads/writes/atomics run
+     * at the home node (L2 copy if resident, else DRAM) and generate
+     * no fills, upgrades or invalidations. */
+    Bypass,
+    /** Coherent, but under the region's own protocol instead of the
+     * cluster default (e.g. read-mostly data pinned to MESI). */
+    ProtocolOverride,
+};
+
+/** Lower-case attribute name ("coherent", "bypass", "override"). */
+const char *regionAttrName(RegionAttr a);
+
 /** Atomic read-modify-write operations (the MTTOP ISA's atomics,
  * Sec. 3.2.4: atomic_cas, atomic_add, atomic_inc, atomic_dec, plus
  * exchange and min/max used by the workloads). */

@@ -116,10 +116,9 @@ void
 CpuCore::translateAndAccess(ThreadContext &tc)
 {
     GuestOp &op = tc.pendingOp();
-    Addr frame = 0;
-    bool writable = false;
-    if (tlb_.lookup(op.va, frame, writable)) {
-        accessMemory(tc, frame | (op.va & mem::pageOffsetMask));
+    vm::TlbEntry te;
+    if (tlb_.lookup(op.va, te)) {
+        accessMemory(tc, te.frame | (op.va & mem::pageOffsetMask), te);
         return;
     }
     // Hardware page walk; on a true fault, trap to the kernel and
@@ -129,10 +128,18 @@ CpuCore::translateAndAccess(ThreadContext &tc)
                   [this, &tc, &proc](vm::WalkResult r) {
                       GuestOp &o = tc.pendingOp();
                       if (r.present) {
-                          tlb_.insert(o.va, r.frame, r.writable);
+                          vm::TlbEntry te{r.frame, r.writable};
+                          if (const vm::MemRegion *mr =
+                                  proc.addressSpace().regionFor(o.va)) {
+                              te.attr = mr->attr;
+                              te.prot = mr->protocol;
+                          }
+                          tlb_.insert(o.va, te.frame, te.writable,
+                                      te.attr, te.prot);
                           accessMemory(
                               tc,
-                              r.frame | (o.va & mem::pageOffsetMask));
+                              te.frame | (o.va & mem::pageOffsetMask),
+                              te);
                           return;
                       }
                       ++faults_;
@@ -203,7 +210,8 @@ CpuCore::accessUncached(ThreadContext &tc, Addr paddr)
 }
 
 void
-CpuCore::accessMemory(ThreadContext &tc, Addr paddr)
+CpuCore::accessMemory(ThreadContext &tc, Addr paddr,
+                      const vm::TlbEntry &te)
 {
     if (uncached_.contains(paddr)) {
         accessUncached(tc, paddr);
@@ -213,6 +221,8 @@ CpuCore::accessMemory(ThreadContext &tc, Addr paddr)
     auto req = std::make_unique<coherence::MemRequest>();
     req->paddr = paddr;
     req->size = op.size;
+    req->region = te.attr;
+    req->regionProt = te.prot;
     switch (op.kind) {
       case OpKind::Load:
         req->kind = coherence::MemRequest::Kind::Read;

@@ -157,10 +157,9 @@ void
 MttopCore::translateAndAccess(ThreadContext &tc)
 {
     GuestOp &op = tc.pendingOp();
-    Addr frame = 0;
-    bool writable = false;
-    if (tlb_.lookup(op.va, frame, writable)) {
-        accessMemory(tc, frame | (op.va & mem::pageOffsetMask));
+    vm::TlbEntry te;
+    if (tlb_.lookup(op.va, te)) {
+        accessMemory(tc, te.frame | (op.va & mem::pageOffsetMask), te);
         return;
     }
     runtime::Process &proc = *tc.process();
@@ -169,9 +168,16 @@ MttopCore::translateAndAccess(ThreadContext &tc)
         [this, &tc, &proc](vm::WalkResult r) {
             GuestOp &o = tc.pendingOp();
             if (r.present) {
-                tlb_.insert(o.va, r.frame, r.writable);
-                accessMemory(tc,
-                             r.frame | (o.va & mem::pageOffsetMask));
+                vm::TlbEntry te{r.frame, r.writable};
+                if (const vm::MemRegion *mr =
+                        proc.addressSpace().regionFor(o.va)) {
+                    te.attr = mr->attr;
+                    te.prot = mr->protocol;
+                }
+                tlb_.insert(o.va, te.frame, te.writable, te.attr,
+                            te.prot);
+                accessMemory(
+                    tc, te.frame | (o.va & mem::pageOffsetMask), te);
                 return;
             }
             // MTTOP cores do not run the OS: raise the fault to a CPU
@@ -184,12 +190,15 @@ MttopCore::translateAndAccess(ThreadContext &tc)
 }
 
 void
-MttopCore::accessMemory(ThreadContext &tc, Addr paddr)
+MttopCore::accessMemory(ThreadContext &tc, Addr paddr,
+                        const vm::TlbEntry &te)
 {
     GuestOp &op = tc.pendingOp();
     auto req = std::make_unique<coherence::MemRequest>();
     req->paddr = paddr;
     req->size = op.size;
+    req->region = te.attr;
+    req->regionProt = te.prot;
     switch (op.kind) {
       case OpKind::Load:
         req->kind = coherence::MemRequest::Kind::Read;

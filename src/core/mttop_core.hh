@@ -83,7 +83,8 @@ class MttopCore : public CoreModel
     void cycle();
     void processOp(ThreadContext &tc);
     void translateAndAccess(ThreadContext &tc);
-    void accessMemory(ThreadContext &tc, Addr paddr);
+    void accessMemory(ThreadContext &tc, Addr paddr,
+                      const vm::TlbEntry &te);
 
     sim::EventQueue *eq_;
     MttopCoreConfig cfg_;

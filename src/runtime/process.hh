@@ -68,6 +68,23 @@ class Process
         return va;
     }
 
+    /**
+     * Allocate whole pages of guest heap (page-aligned base and
+     * size). Region-annotated buffers use this so a page-granular
+     * coherence attribute covers exactly the buffer and nothing else.
+     */
+    vm::VAddr
+    gmallocPages(Addr size)
+    {
+        ccsvm_assert(size > 0, "gmallocPages(0)");
+        const Addr bytes = roundUp(size, mem::pageBytes);
+        const vm::VAddr va = as_->reserve(bytes);
+        // Keep the ledger honest: gfree()/allocatedBytes() must work
+        // for page allocations exactly as for gmalloc ones.
+        allocations_[va] = bytes;
+        return va;
+    }
+
     /** Release a gmalloc'd block. */
     void
     gfree(vm::VAddr va)

@@ -10,10 +10,10 @@
 #ifndef CCSVM_SIM_EVENTQ_HH
 #define CCSVM_SIM_EVENTQ_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "base/logging.hh"
@@ -63,7 +63,8 @@ class EventQueue
         ccsvm_assert(when >= now_,
                      "scheduling in the past: when=%llu now=%llu",
                      (unsigned long long)when, (unsigned long long)now_);
-        heap_.push(Entry{when, priority, seq_++, std::move(cb)});
+        heap_.push_back(Entry{when, priority, seq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Entry::later);
     }
 
     /** Schedule @p cb to run @p delta ticks from now. */
@@ -82,9 +83,15 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // Move the callback out before popping: running it may push.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        // pop_heap swaps the earliest entry to the back (move-
+        // assigning whole entries; it never compares an entry that
+        // has been moved from), so extraction does not depend on the
+        // comparator tolerating a moved-from std::function. The entry
+        // is fully moved out before cb() runs, since running it may
+        // schedule (and so reallocate the heap).
+        std::pop_heap(heap_.begin(), heap_.end(), Entry::later);
+        Entry e = std::move(heap_.back());
+        heap_.pop_back();
         now_ = e.when;
         ++executed_;
         e.cb();
@@ -99,7 +106,7 @@ class EventQueue
     Tick
     run(Tick limit = maxTick)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
+        while (!heap_.empty() && heap_.front().when <= limit)
             runOne();
         return now_;
     }
@@ -114,7 +121,7 @@ class EventQueue
     {
         if (done())
             return true;
-        while (!heap_.empty() && heap_.top().when <= limit) {
+        while (!heap_.empty() && heap_.front().when <= limit) {
             runOne();
             if (done())
                 return true;
@@ -130,18 +137,22 @@ class EventQueue
         std::uint64_t seq;
         Callback cb;
 
-        bool
-        operator>(const Entry &o) const
+        /** Heap order: a runs after b. std::*_heap with this
+         * comparator keeps the earliest event at the front. */
+        static bool
+        later(const Entry &a, const Entry &b)
         {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return seq > o.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Min-heap over Entry::later, managed with std::push_heap /
+     * std::pop_heap; front() is the earliest event. */
+    std::vector<Entry> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -135,7 +135,12 @@ CcsvmMachine::createProcess()
 {
     processes_.push_back(std::make_unique<runtime::Process>(
         static_cast<int>(processes_.size()), *kernel_, *this));
-    return *processes_.back();
+    runtime::Process &proc = *processes_.back();
+    // Machine-level region table (driver --region flags): every
+    // process sees the same attribute map.
+    for (const vm::MemRegion &r : cfg_.regions)
+        proc.addressSpace().addRegion(r);
+    return proc;
 }
 
 void

@@ -79,6 +79,17 @@ struct CcsvmConfig
     /** Frames below this are reserved (device/kernel image). */
     Addr framePoolBase = 16 * 1024 * 1024;
 
+    /**
+     * Region-based coherence: page-aligned virtual regions with a
+     * coherence attribute (coherent / bypass / protocol-override),
+     * installed into every process this machine creates (driver flag
+     * --region name:base:size:attr). Workloads may add their own
+     * per-buffer regions on top (driver flag --region-hints). Empty
+     * by default, which leaves every access on the default coherent
+     * path — bit-identical to a region-unaware machine.
+     */
+    std::vector<vm::MemRegion> regions;
+
     /** Enable the SWMR monitor (tests; small host-time cost). */
     bool swmrChecks = true;
 };

@@ -83,8 +83,23 @@ class AddressSpace
 
     VAddr heapBrk() const { return heapBrk_; }
 
+    // --- region-based coherence (attrs ride in the TLB) -------------
+
+    /** Declare a page-aligned region with a coherence attribute. */
+    void addRegion(MemRegion r) { regions_.add(std::move(r)); }
+
+    /** The region covering @p va, or nullptr (default coherent). */
+    const MemRegion *
+    regionFor(VAddr va) const
+    {
+        return regions_.find(va);
+    }
+
+    const RegionMap &regions() const { return regions_; }
+
   private:
     PageTable pageTable_;
+    RegionMap regions_;
     VAddr heapBrk_ = AddressLayout::heapBase;
 };
 

@@ -14,9 +14,12 @@
 #define CCSVM_VM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "coherence/types.hh"
 #include "mem/phys_mem.hh"
 
 namespace ccsvm::vm
@@ -24,6 +27,99 @@ namespace ccsvm::vm
 
 /** Guest virtual address. */
 using VAddr = std::uint64_t;
+
+/**
+ * One virtual-memory region with a coherence attribute (paper Sec. 5
+ * discussion: whether hardware coherence pays off depends on the
+ * access pattern, which varies per data region). Regions are
+ * page-granular because the attribute rides in the TLB alongside the
+ * translation — everything inside one page shares a treatment.
+ */
+struct MemRegion
+{
+    std::string name;
+    VAddr base = 0;
+    Addr size = 0;
+    coherence::RegionAttr attr = coherence::RegionAttr::Coherent;
+    /** Region protocol when attr == ProtocolOverride. */
+    coherence::Protocol protocol{};
+
+    bool
+    contains(VAddr va) const
+    {
+        return va >= base && va - base < size;
+    }
+};
+
+/**
+ * The per-address-space region table: non-overlapping, page-aligned
+ * regions keyed by base address. Addresses outside every region get
+ * the default treatment (Coherent under the cluster protocol).
+ */
+class RegionMap
+{
+  public:
+    void
+    add(MemRegion r)
+    {
+        ccsvm_assert(r.size > 0 &&
+                         r.base % mem::pageBytes == 0 &&
+                         r.size % mem::pageBytes == 0,
+                     "region '%s' not page-aligned: base=0x%llx "
+                     "size=0x%llx",
+                     r.name.c_str(), (unsigned long long)r.base,
+                     (unsigned long long)r.size);
+        // Reject overlap: the neighbor below must end at or before
+        // our base, and the neighbor above must start at or after our
+        // end.
+        auto next = map_.lower_bound(r.base);
+        if (next != map_.begin()) {
+            auto prev = std::prev(next);
+            ccsvm_assert(prev->second.base + prev->second.size <=
+                             r.base,
+                         "region '%s' overlaps '%s'", r.name.c_str(),
+                         prev->second.name.c_str());
+        }
+        ccsvm_assert(next == map_.end() ||
+                         r.base + r.size <= next->second.base,
+                     "region '%s' overlaps '%s'", r.name.c_str(),
+                     next->second.name.c_str());
+        map_.emplace(r.base, std::move(r));
+    }
+
+    /** The region containing @p va, or nullptr (default treatment). */
+    const MemRegion *
+    find(VAddr va) const
+    {
+        auto it = map_.upper_bound(va);
+        if (it == map_.begin())
+            return nullptr;
+        --it;
+        return it->second.contains(va) ? &it->second : nullptr;
+    }
+
+    /** Any declared region intersects [base, base+size)? Lets
+     * callers (e.g. workload default annotations) yield to an
+     * existing declaration instead of tripping add()'s overlap
+     * assert. */
+    bool
+    overlaps(VAddr base, Addr size) const
+    {
+        if (size == 0)
+            return false;
+        auto it = map_.upper_bound(base + size - 1);
+        if (it == map_.begin())
+            return false;
+        --it;
+        return it->second.base + it->second.size > base;
+    }
+
+    std::size_t size() const { return map_.size(); }
+    const std::map<VAddr, MemRegion> &regions() const { return map_; }
+
+  private:
+    std::map<VAddr, MemRegion> map_;
+};
 
 /** PTE flag bits (subset of x86). */
 enum PteFlags : std::uint64_t

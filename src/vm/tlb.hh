@@ -1,7 +1,14 @@
 /**
  * @file
  * Translation lookaside buffer: 64-entry, fully associative, true LRU
- * (Table 2, for both CPU and MTTOP cores).
+ * (Table 2, for both CPU and MTTOP cores). The LRU is constant-time:
+ * an intrusive recency list spliced on every hit, with a map from VPN
+ * to list node — the translation hot path never scans the whole TLB.
+ *
+ * Each entry carries the page's region attribute alongside the
+ * translation (region-based coherence: the core stamps every memory
+ * request with the attribute so the L1 can bypass or override the
+ * cluster protocol per region).
  *
  * TLB coherence follows the paper's conservative choice (Sec. 3.2.1):
  * CPU-initiated shootdowns flush MTTOP TLBs entirely; CPU TLBs
@@ -11,16 +18,27 @@
 #ifndef CCSVM_VM_TLB_HH
 #define CCSVM_VM_TLB_HH
 
+#include <list>
 #include <string>
 #include <unordered_map>
 
 #include "base/types.hh"
+#include "coherence/types.hh"
 #include "mem/phys_mem.hh"
 #include "sim/stats.hh"
 #include "vm/page_table.hh"
 
 namespace ccsvm::vm
 {
+
+/** One TLB translation as handed to the core. */
+struct TlbEntry
+{
+    Addr frame = 0;
+    bool writable = false;
+    coherence::RegionAttr attr = coherence::RegionAttr::Coherent;
+    coherence::Protocol prot{}; ///< valid when attr == ProtocolOverride
+};
 
 /** One core-private TLB. */
 class Tlb
@@ -37,10 +55,10 @@ class Tlb
 
     /**
      * Look up the translation for @p va.
-     * @return true and set @p frame on a hit.
+     * @return true and fill @p out on a hit.
      */
     bool
-    lookup(VAddr va, Addr &frame, bool &writable)
+    lookup(VAddr va, TlbEntry &out)
     {
         const VAddr vpn = va >> mem::pageShift;
         auto it = map_.find(vpn);
@@ -49,34 +67,55 @@ class Tlb
             return false;
         }
         ++hits_;
-        it->second.lastUse = ++useClock_;
-        frame = it->second.frame;
-        writable = it->second.writable;
+        // Constant-time recency update: move the node to MRU.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        out = it->second->entry;
         return true;
     }
 
-    /** Install a translation, evicting LRU if full. */
+    /** Legacy 3-out-param lookup (tests and attr-oblivious callers). */
+    bool
+    lookup(VAddr va, Addr &frame, bool &writable)
+    {
+        TlbEntry e;
+        if (!lookup(va, e))
+            return false;
+        frame = e.frame;
+        writable = e.writable;
+        return true;
+    }
+
+    /** Install a translation, evicting true-LRU if full. */
     void
-    insert(VAddr va, Addr frame, bool writable)
+    insert(VAddr va, Addr frame, bool writable,
+           coherence::RegionAttr attr = coherence::RegionAttr::Coherent,
+           coherence::Protocol prot = {})
     {
         const VAddr vpn = va >> mem::pageShift;
-        if (map_.size() >= entries_ && map_.find(vpn) == map_.end()) {
-            // Evict the least recently used entry.
-            auto lru = map_.begin();
-            for (auto it = map_.begin(); it != map_.end(); ++it) {
-                if (it->second.lastUse < lru->second.lastUse)
-                    lru = it;
-            }
-            map_.erase(lru);
+        const TlbEntry entry{frame, writable, attr, prot};
+        if (auto it = map_.find(vpn); it != map_.end()) {
+            it->second->entry = entry;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
         }
-        map_[vpn] = Entry{frame, writable, ++useClock_};
+        if (map_.size() >= entries_) {
+            // Evict the least recently used entry: the list tail.
+            map_.erase(lru_.back().vpn);
+            lru_.pop_back();
+        }
+        lru_.push_front(Node{vpn, entry});
+        map_[vpn] = lru_.begin();
     }
 
     /** Invalidate one translation (x86 invlpg). */
     void
     invalidate(VAddr va)
     {
-        map_.erase(va >> mem::pageShift);
+        auto it = map_.find(va >> mem::pageShift);
+        if (it == map_.end())
+            return;
+        lru_.erase(it->second);
+        map_.erase(it);
     }
 
     /** Flush everything (MTTOP shootdown policy; CR3 switch). */
@@ -85,21 +124,24 @@ class Tlb
     {
         ++flushes_;
         map_.clear();
+        lru_.clear();
     }
 
     std::size_t size() const { return map_.size(); }
 
+    std::uint64_t flushes() const { return flushes_.value(); }
+
   private:
-    struct Entry
+    struct Node
     {
-        Addr frame = 0;
-        bool writable = false;
-        std::uint64_t lastUse = 0;
+        VAddr vpn = 0;
+        TlbEntry entry;
     };
 
     unsigned entries_;
-    std::unordered_map<VAddr, Entry> map_;
-    std::uint64_t useClock_ = 0;
+    /** Recency order, most recent first. */
+    std::list<Node> lru_;
+    std::unordered_map<VAddr, std::list<Node>::iterator> map_;
 
     sim::Counter &hits_;
     sim::Counter &misses_;

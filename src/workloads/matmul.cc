@@ -136,7 +136,7 @@ verify(runtime::Process &proc, VAddr c, unsigned n)
 } // namespace
 
 RunResult
-matmulXthreads(system::CcsvmMachine &m, unsigned n)
+matmulXthreads(system::CcsvmMachine &m, unsigned n, bool region_hints)
 {
     runtime::Process &proc = m.createProcess();
 
@@ -145,8 +145,38 @@ matmulXthreads(system::CcsvmMachine &m, unsigned n)
         m.mttopCore(0).totalContexts();
     const unsigned num_threads = std::min(n * n, max_contexts);
 
-    const VAddr a = proc.gmalloc(n * n * 4);
-    const VAddr b = proc.gmalloc(n * n * 4);
+    // Region hints: the input matrices are written once (by the CPU's
+    // input generation) and then only read by the MTTOP threads —
+    // the canonical read-mostly region. Pin them to MESI: sole-copy
+    // fills stay clean-exclusive and the first reader of a freshly
+    // written line makes the home copy clean instead of leaving a
+    // dirty-shared O owner behind, whatever the cluster protocol.
+    VAddr a, b;
+    if (region_hints) {
+        const Addr mat_pages = roundUp(Addr(n) * n * 4,
+                                       mem::pageBytes);
+        a = proc.gmallocPages(mat_pages);
+        b = proc.gmallocPages(mat_pages);
+        // Explicit machine-level regions take precedence over the
+        // read-mostly default annotation.
+        for (const auto &[va, name] :
+             {std::pair<VAddr, const char *>{a, "matmul:A"},
+              std::pair<VAddr, const char *>{b, "matmul:B"}}) {
+            if (proc.addressSpace().regions().overlaps(va,
+                                                       mat_pages)) {
+                ccsvm_warn("matmul: an explicit region already "
+                           "covers %s; keeping its attribute", name);
+                continue;
+            }
+            proc.addressSpace().addRegion(
+                {name, va, mat_pages,
+                 coherence::RegionAttr::ProtocolOverride,
+                 coherence::Protocol::MESI});
+        }
+    } else {
+        a = proc.gmalloc(n * n * 4);
+        b = proc.gmalloc(n * n * 4);
+    }
     const VAddr c = proc.gmalloc(n * n * 4);
     const VAddr done = proc.gmalloc(num_threads * 4);
     const VAddr args = proc.gmalloc(64);

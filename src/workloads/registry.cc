@@ -14,9 +14,9 @@ WorkloadRegistry::WorkloadRegistry()
 {
     entries_.push_back(
         {"matmul", "dense matrix multiply (paper Fig. 5/9)",
-         {"--n"},
+         {"--n", "--region-hints"},
          [](system::CcsvmMachine &m, const WorkloadParams &p) {
-             return matmulXthreads(m, p.n);
+             return matmulXthreads(m, p.n, p.regionHints);
          },
          {}});
     entries_.push_back(
@@ -68,6 +68,7 @@ WorkloadRegistry::WorkloadRegistry()
           case synth::Pattern::Stream:
             flags.push_back("--footprint-kb");
             flags.push_back("--stride");
+            flags.push_back("--region-hints");
             break;
           case synth::Pattern::PtrChase:
             flags.push_back("--footprint-kb");
@@ -82,6 +83,13 @@ WorkloadRegistry::WorkloadRegistry()
                    const WorkloadParams &p) {
                  synth::SynthParams sp = p.synth;
                  sp.pattern = pat;
+                 // The stream pattern's default annotation: its
+                 // private sweep buffer gains nothing from hardware
+                 // coherence, so --region-hints marks it bypass.
+                 if (p.regionHints &&
+                     pat == synth::Pattern::Stream) {
+                     sp.regionAttr = coherence::RegionAttr::Bypass;
+                 }
                  return synth::synthXthreads(m, sp);
              },
              pat == synth::Pattern::PtrChase

@@ -39,6 +39,13 @@ struct WorkloadParams
     BarnesHutParams bh;
     SpmmParams spmm;
     synth::SynthParams synth;
+
+    /** Apply the workload's default region annotations (driver flag
+     * --region-hints): synth:stream marks its stream buffer bypass,
+     * matmul marks its input matrices read-mostly (MESI override).
+     * Off by default so unannotated runs stay bit-identical to the
+     * region-unaware simulator. */
+    bool regionHints = false;
 };
 
 /** One selectable workload. */

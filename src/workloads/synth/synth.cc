@@ -697,7 +697,29 @@ synthXthreads(system::CcsvmMachine &m, const SynthParams &in)
         const VAddr raw = proc.gmalloc(bytes + lineB);
         return (raw + lineB - 1) & ~Addr(lineB - 1);
     };
-    const VAddr region = lineAlloc(g.regionBytes());
+    // The data region: with a non-default coherence attribute it must
+    // sit on its own pages (attrs ride in the TLB at page
+    // granularity) and gets annotated; the auxiliary blocks (results,
+    // done flags, token, args) always stay default-coherent so the
+    // attribute shapes only the pattern's own traffic.
+    VAddr region;
+    if (p.regionAttr != coherence::RegionAttr::Coherent) {
+        region = proc.gmallocPages(g.regionBytes());
+        const Addr bytes = roundUp(g.regionBytes(), mem::pageBytes);
+        // An explicit machine-level --region covering this buffer
+        // takes precedence over the workload's default annotation.
+        if (proc.addressSpace().regions().overlaps(region, bytes)) {
+            ccsvm_warn("synth: an explicit region already covers the "
+                       "%s buffer; keeping its attribute",
+                       patternName(p.pattern));
+        } else {
+            proc.addressSpace().addRegion(
+                {std::string("synth:") + patternName(p.pattern),
+                 region, bytes, p.regionAttr, p.regionProt});
+        }
+    } else {
+        region = lineAlloc(g.regionBytes());
+    }
     const VAddr results = lineAlloc(Addr(p.threads) * lineB);
     const VAddr done = lineAlloc(Addr(p.threads) * 4);
     const VAddr aux = lineAlloc(lineB);

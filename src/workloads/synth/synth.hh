@@ -110,6 +110,21 @@ struct SynthParams
 
     /** Seed for the ptrchase permutation. */
     std::uint64_t seed = 1;
+
+    /**
+     * Region-based coherence attribute for the pattern's data region.
+     * Coherent (the default) keeps the historical behavior —
+     * line-granular allocation, no region annotation, bit-identical
+     * stats. Any other value page-allocates the data region and
+     * annotates it, so every access to it runs under the attribute
+     * (bypass: uncacheable at the home; override: regionProt instead
+     * of the cluster protocol). The driver's --region-hints flag sets
+     * Bypass for synth:stream, the pattern the paper's discussion
+     * singles out as coherence-indifferent.
+     */
+    coherence::RegionAttr regionAttr =
+        coherence::RegionAttr::Coherent;
+    coherence::Protocol regionProt{}; ///< for ProtocolOverride
 };
 
 /** Run @p p as guest xthreads code on a caller-provided machine (the

@@ -52,7 +52,13 @@ struct RunResult
 // caller-provided machine so the caller keeps access to the full
 // stats registry afterwards (the ccsvm driver's JSON dump needs it).
 
-RunResult matmulXthreads(system::CcsvmMachine &m, unsigned n);
+/** @param region_hints annotate the A/B input matrices as read-mostly
+ * regions (protocol override to MESI): their fills stay clean-
+ * exclusive and a reader of freshly written inputs makes the home
+ * copy clean instead of dirty-sharing it, whatever the cluster
+ * protocol (driver flag --region-hints). */
+RunResult matmulXthreads(system::CcsvmMachine &m, unsigned n,
+                         bool region_hints = false);
 RunResult matmulXthreads(unsigned n,
                          system::CcsvmConfig cfg = {});
 RunResult matmulOpenCl(unsigned n, apu::ApuConfig cfg = {},

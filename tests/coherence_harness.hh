@@ -119,9 +119,13 @@ struct CohHarness
             bank->connectL1s(l1refs);
     }
 
-    /** Issue a load at L1 @p id and run until it completes. */
+    /** Issue a load at L1 @p id and run until it completes. The
+     * optional region attribute/protocol model a request whose page
+     * carries a region annotation (bypass or protocol override). */
     std::uint64_t
-    load(int id, Addr pa, unsigned size = 8)
+    load(int id, Addr pa, unsigned size = 8,
+         RegionAttr region = RegionAttr::Coherent,
+         Protocol region_prot = {})
     {
         std::uint64_t result = 0;
         bool done = false;
@@ -129,6 +133,8 @@ struct CohHarness
         req->kind = MemRequest::Kind::Read;
         req->paddr = pa;
         req->size = size;
+        req->region = region;
+        req->regionProt = region_prot;
         req->onDone = [&](std::uint64_t v) {
             result = v;
             done = true;
@@ -140,7 +146,9 @@ struct CohHarness
 
     /** Issue a store at L1 @p id and run until it completes. */
     void
-    store(int id, Addr pa, std::uint64_t value, unsigned size = 8)
+    store(int id, Addr pa, std::uint64_t value, unsigned size = 8,
+          RegionAttr region = RegionAttr::Coherent,
+          Protocol region_prot = {})
     {
         bool done = false;
         auto req = std::make_unique<MemRequest>();
@@ -148,6 +156,8 @@ struct CohHarness
         req->paddr = pa;
         req->size = size;
         req->wdata = value;
+        req->region = region;
+        req->regionProt = region_prot;
         req->onDone = [&](std::uint64_t) { done = true; };
         l1s[id]->access(std::move(req));
         runUntil(done);
@@ -156,7 +166,9 @@ struct CohHarness
     /** Issue an atomic at L1 @p id; returns the old value. */
     std::uint64_t
     amo(int id, Addr pa, AmoOp op, std::uint64_t operand = 0,
-        std::uint64_t operand2 = 0, unsigned size = 8)
+        std::uint64_t operand2 = 0, unsigned size = 8,
+        RegionAttr region = RegionAttr::Coherent,
+        Protocol region_prot = {})
     {
         std::uint64_t result = 0;
         bool done = false;
@@ -167,6 +179,8 @@ struct CohHarness
         req->amoOp = op;
         req->operand = operand;
         req->operand2 = operand2;
+        req->region = region;
+        req->regionProt = region_prot;
         req->onDone = [&](std::uint64_t v) {
             result = v;
             done = true;

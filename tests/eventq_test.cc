@@ -55,6 +55,36 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
     EXPECT_EQ(eq.eventsExecuted(), 3u);
 }
 
+TEST(EventQueue, SameTickChurnKeepsDeterministicOrder)
+{
+    // Regression for the heap extraction rewrite: runOne used to
+    // move-construct from the priority_queue's top and rely on the
+    // comparator never reading the moved-from callback. The pop_heap
+    // form must keep (priority, seq) order exact while callbacks
+    // schedule more same-tick events mid-run, which reallocates the
+    // heap under the extraction.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&] {
+        order.push_back(1);
+        // Same-tick follow-ups at mixed priorities, scheduled while
+        // the tick is already draining.
+        eq.schedule(7, [&] { order.push_back(4); }, prioCpu);
+        eq.schedule(7, [&] { order.push_back(3); }, prioDefault);
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(8, [&] { order.push_back(5); });
+    }, prioNetwork);
+    eq.schedule(7, [&] { order.push_back(2); }, prioDefault);
+    eq.run();
+    ASSERT_EQ(order.size(), 4u + 64u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2); // earlier seq at equal priority
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(order[3], 4);
+    EXPECT_EQ(eq.now(), 8u);
+    EXPECT_EQ(eq.eventsExecuted(), 68u);
+}
+
 TEST(EventQueue, RunRespectsLimit)
 {
     EventQueue eq;

@@ -123,6 +123,91 @@ TEST_F(VmFixture, TlbHitMissAndLru)
     EXPECT_TRUE(tlb.lookup(0x1000, frame, w)) << "MRU evicted";
 }
 
+TEST_F(VmFixture, TlbExactLruOrderUnderChurn)
+{
+    // The LRU is a recency list + map (constant time), not a scan;
+    // this pins the exact eviction order across interleaved hits,
+    // re-inserts and misses so any future structure change must keep
+    // true-LRU behavior.
+    Tlb tlb(stats, "lrutlb", 3);
+    Addr frame;
+    bool w;
+    tlb.insert(0x1000, 0xa000, true);
+    tlb.insert(0x2000, 0xb000, true);
+    tlb.insert(0x3000, 0xc000, true);
+    // Recency now 3,2,1. Touch 1 -> 1,3,2; re-insert 2 -> 2,1,3.
+    ASSERT_TRUE(tlb.lookup(0x1000, frame, w));
+    tlb.insert(0x2000, 0xb100, true);
+    // Next two inserts evict 3 then... 1 (2 was freshened).
+    tlb.insert(0x4000, 0xd000, true);
+    EXPECT_FALSE(tlb.lookup(0x3000, frame, w));
+    tlb.insert(0x5000, 0xe000, true);
+    EXPECT_FALSE(tlb.lookup(0x1000, frame, w));
+    ASSERT_TRUE(tlb.lookup(0x2000, frame, w));
+    EXPECT_EQ(frame, 0xb100u) << "re-insert must update in place";
+    EXPECT_EQ(tlb.size(), 3u);
+}
+
+TEST_F(VmFixture, ShootdownPolicyCountsFlushes)
+{
+    // The documented TLB-coherence policy (tlb.hh, paper Sec. 3.2.1):
+    // a CPU-initiated shootdown flushes MTTOP TLBs wholesale (one
+    // whole-TLB flush each, counted) and invalidates only the
+    // affected VPN at CPU TLBs (no flush counted).
+    Kernel kernel(eq, stats, phys, {}, 0x100000, 32 * 1024 * 1024);
+    auto as = kernel.createAddressSpace();
+
+    Tlb cpu0(stats, "sd.cpu0"), cpu1(stats, "sd.cpu1");
+    Tlb mt0(stats, "sd.mt0"), mt1(stats, "sd.mt1");
+    kernel.registerCpuTlb(&cpu0);
+    kernel.registerCpuTlb(&cpu1);
+    kernel.registerMttopTlb(&mt0);
+    kernel.registerMttopTlb(&mt1);
+
+    bool faulted = false;
+    kernel.handlePageFault(*as, 0x2000'0000, [&] { faulted = true; });
+    eq.run();
+    ASSERT_TRUE(faulted);
+    const Addr frame = as->pageTable().walk(0x2000'0000).frame;
+    for (Tlb *t : {&cpu0, &cpu1, &mt0, &mt1}) {
+        t->insert(0x2000'0000, frame, true);
+        t->insert(0x3000'0000, 0xbeef000, true);
+    }
+
+    bool done = false;
+    kernel.unmapAndShootdown(*as, 0x2000'0000, [&] { done = true; });
+    eq.run();
+    ASSERT_TRUE(done);
+
+    // CPU TLBs: precise invalidation, unrelated entries survive, no
+    // whole-TLB flush counted.
+    Addr f;
+    bool w;
+    for (Tlb *t : {&cpu0, &cpu1}) {
+        EXPECT_FALSE(t->lookup(0x2000'0000, f, w));
+        EXPECT_TRUE(t->lookup(0x3000'0000, f, w));
+    }
+    EXPECT_EQ(stats.get("sd.cpu0.flushes"), 0u);
+    EXPECT_EQ(stats.get("sd.cpu1.flushes"), 0u);
+    // MTTOP TLBs: conservative full flush, everything gone, one
+    // flush counted per TLB per shootdown.
+    EXPECT_EQ(mt0.size(), 0u);
+    EXPECT_EQ(mt1.size(), 0u);
+    EXPECT_EQ(stats.get("sd.mt0.flushes"), 1u);
+    EXPECT_EQ(stats.get("sd.mt1.flushes"), 1u);
+    EXPECT_EQ(mt0.flushes(), 1u);
+
+    // A second shootdown accumulates MTTOP flushes.
+    bool done2 = false;
+    kernel.unmapAndShootdown(*as, 0x3000'0000, [&] { done2 = true; });
+    eq.run();
+    ASSERT_TRUE(done2);
+    EXPECT_EQ(stats.get("sd.mt0.flushes"), 2u);
+    EXPECT_EQ(stats.get("sd.mt1.flushes"), 2u);
+    EXPECT_EQ(stats.get("sd.cpu0.flushes"), 0u);
+    EXPECT_EQ(stats.get("kernel.shootdowns"), 2u);
+}
+
 TEST_F(VmFixture, TlbInvalidateAndFlush)
 {
     Tlb tlb(stats, "tlb");

@@ -25,6 +25,7 @@
  * one schema for every machine-readable artifact this repo produces.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +94,21 @@ usage(const char *argv0, std::FILE *out = stdout)
         "bytes (default 64)\n"
         "  --sharing N         synth sharing degree: threads/line "
         "(false), lines (readmostly)\n"
+        "\n"
+        "region-based coherence (see README \"Region-based "
+        "coherence\"):\n"
+        "  --region N:B:S:A    declare virtual region named N at "
+        "page-aligned base B,\n"
+        "                      size S (0x-hex or decimal, K/M "
+        "suffixes) with attribute A:\n"
+        "                      coherent | bypass | readmostly | a "
+        "protocol name\n"
+        "                      (protocol name = coherent under that "
+        "protocol; repeatable)\n"
+        "  --region-hints      apply the workload's default region "
+        "annotations\n"
+        "                      (synth:stream buffer -> bypass, "
+        "matmul A/B -> readmostly)\n"
         "\n"
         "machine configuration (defaults = paper Table 2):\n"
         "  --protocol P        chip-wide coherence protocol: %s "
@@ -174,6 +190,109 @@ parseProtocol(const char *name, const char *value)
         std::exit(2);
     }
     return p;
+}
+
+/** Parse a byte count: 0x-hex or decimal, optional K/M/G suffix. */
+Addr
+parseBytes(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 0);
+    Addr bytes = v;
+    if (end && end[0] && !end[1]) {
+        switch (std::tolower(static_cast<unsigned char>(end[0]))) {
+          case 'k': bytes = v * 1024ull; end = nullptr; break;
+          case 'm': bytes = v * 1024ull * 1024; end = nullptr; break;
+          case 'g':
+            bytes = v * 1024ull * 1024 * 1024;
+            end = nullptr;
+            break;
+        }
+    }
+    if (value.empty() || (end && *end)) {
+        std::fprintf(stderr,
+                     "ccsvm: %s needs a byte count (hex/decimal, "
+                     "optional K/M/G), got '%s'\n",
+                     flag, value.c_str());
+        std::exit(2);
+    }
+    return bytes;
+}
+
+/**
+ * Parse one --region value "name:base:size:attr" into a MemRegion.
+ * attr is coherent, bypass, readmostly (= MESI override), or a
+ * protocol name (= override under that protocol). Exits 2 on a
+ * malformed spec, an unknown attribute, or a misaligned region.
+ */
+vm::MemRegion
+parseRegion(const std::string &spec)
+{
+    auto fail = [&spec](const char *why) {
+        std::fprintf(stderr,
+                     "ccsvm: --region wants name:base:size:attr "
+                     "(%s), got '%s'\n",
+                     why, spec.c_str());
+        std::exit(2);
+    };
+
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (parts.size() < 4) {
+        const std::size_t colon = parts.size() == 3
+                                      ? std::string::npos
+                                      : spec.find(':', pos);
+        parts.push_back(spec.substr(
+            pos,
+            colon == std::string::npos ? std::string::npos
+                                       : colon - pos));
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    if (parts.size() != 4 || parts[0].empty() || parts[3].empty())
+        fail("four colon-separated fields");
+
+    vm::MemRegion r;
+    r.name = parts[0];
+    r.base = parseBytes("--region base", parts[1]);
+    r.size = parseBytes("--region size", parts[2]);
+
+    const std::string &attr = parts[3];
+    coherence::Protocol prot;
+    if (attr == "coherent") {
+        r.attr = coherence::RegionAttr::Coherent;
+    } else if (attr == "bypass") {
+        r.attr = coherence::RegionAttr::Bypass;
+    } else if (attr == "readmostly") {
+        // Read-mostly data wants clean-exclusive fills without
+        // dirty-sharing residue: a MESI override.
+        r.attr = coherence::RegionAttr::ProtocolOverride;
+        r.protocol = coherence::Protocol::MESI;
+    } else if (coherence::protocolFromName(attr, prot)) {
+        r.attr = coherence::RegionAttr::ProtocolOverride;
+        r.protocol = prot;
+    } else {
+        std::fprintf(stderr,
+                     "ccsvm: --region attribute wants coherent, "
+                     "bypass, readmostly or one of %s, got '%s'\n",
+                     coherence::protocolNameList(", ").c_str(),
+                     attr.c_str());
+        std::exit(2);
+    }
+
+    if (r.size == 0 || r.base % mem::pageBytes != 0 ||
+        r.size % mem::pageBytes != 0) {
+        std::fprintf(stderr,
+                     "ccsvm: --region '%s' must be page-aligned "
+                     "(base=0x%llx size=0x%llx, page=%u)\n",
+                     r.name.c_str(), (unsigned long long)r.base,
+                     (unsigned long long)r.size,
+                     unsigned(mem::pageBytes));
+        std::exit(2);
+    }
+    return r;
 }
 
 double
@@ -258,6 +377,11 @@ parseArgs(int argc, char **argv)
             o.params.synth.sharingDegree =
                 parseUnsigned("--sharing", next());
             wlFlag();
+        } else if (arg == "--region") {
+            o.cfg.regions.push_back(parseRegion(next()));
+        } else if (arg == "--region-hints") {
+            o.params.regionHints = true;
+            wlFlag();
         } else if (arg == "--protocol") {
             o.cfg.protocol = parseProtocol("--protocol", next());
         } else if (arg == "--cpu-protocol") {
@@ -310,6 +434,22 @@ parseArgs(int argc, char **argv)
                          arg.c_str(), argv[0]);
             usage(argv[0], stderr);
             std::exit(2);
+        }
+    }
+    // Overlapping --region declarations are a user error: fail fast
+    // with a CLI diagnostic instead of tripping the simulator's
+    // region-table assert mid-construction.
+    for (std::size_t i = 0; i < o.cfg.regions.size(); ++i) {
+        for (std::size_t j = i + 1; j < o.cfg.regions.size(); ++j) {
+            const vm::MemRegion &x = o.cfg.regions[i];
+            const vm::MemRegion &y = o.cfg.regions[j];
+            if (x.base < y.base + y.size && y.base < x.base + x.size) {
+                std::fprintf(stderr,
+                             "ccsvm: --region '%s' overlaps --region "
+                             "'%s'\n",
+                             y.name.c_str(), x.name.c_str());
+                std::exit(2);
+            }
         }
     }
     return o;
@@ -388,7 +528,20 @@ writeJson(const DriverOptions &o,
        << ", \"cpu_l1_bytes\": " << o.cfg.cpuL1.sizeBytes
        << ", \"mttop_l1_bytes\": " << o.cfg.mttopL1.sizeBytes
        << ", \"l2_bank_bytes\": " << o.cfg.l2.bankSizeBytes
-       << "},\n"
+       << ",\n              \"region_hints\": "
+       << (p.regionHints ? "true" : "false") << ", \"regions\": [";
+    for (std::size_t i = 0; i < o.cfg.regions.size(); ++i) {
+        const vm::MemRegion &reg = o.cfg.regions[i];
+        std::string attr = coherence::regionAttrName(reg.attr);
+        if (reg.attr == coherence::RegionAttr::ProtocolOverride)
+            attr += std::string(":") +
+                    coherence::protocolName(reg.protocol);
+        os << (i ? ", " : "") << "{\"name\": \""
+           << sim::jsonEscape(reg.name) << "\", \"base\": " << reg.base
+           << ", \"size\": " << reg.size << ", \"attr\": \"" << attr
+           << "\"}";
+    }
+    os << "]},\n"
        << "  \"sim\": {\"ticks\": " << r.ticks
        << ", \"ticks_no_init\": " << r.ticksNoInit
        << ", \"dram_accesses\": " << r.dramAccesses
