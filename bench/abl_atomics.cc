@@ -130,6 +130,10 @@ apuAtomics(unsigned threads, unsigned iters, bool contended,
     return m.now() - t0;
 }
 
+// Simulations run up front through the BenchSweep (each experiment
+// owns its machines); the cases replay the outcomes in registration
+// order.
+
 void
 BM_Atomics(benchmark::State &state)
 {
@@ -137,16 +141,14 @@ BM_Atomics(benchmark::State &state)
     const bool contended = state.range(1) != 0;
     const bool apu = state.range(2) != 0;
     constexpr unsigned iters = 50;
-    Tick t = 0;
-    std::uint64_t dram = 0;
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(3)));
     for (auto _ : state) {
-        t = apu ? apuAtomics(threads, iters, contended, dram)
-                : ccsvmAtomics(threads, iters, contended, dram);
     }
-    const double ns_per_op =
-        static_cast<double>(t) / tickNs / (threads * iters);
+    const double ns_per_op = static_cast<double>(out.run.ticks) /
+                             tickNs / (threads * iters);
     state.counters["ns_per_atomic"] = ns_per_op;
-    state.counters["dram"] = static_cast<double>(dram);
+    state.counters["dram"] = out.values.at("dram");
     const std::string series =
         std::string(apu ? "apu_mem" : "ccsvm_l1") +
         (contended ? "_contended" : "_private");
@@ -160,11 +162,31 @@ registerAll()
     for (std::int64_t threads : {8, 32, 64}) {
         for (std::int64_t contended : {0, 1}) {
             for (std::int64_t apu : {0, 1}) {
+                const auto job = static_cast<std::int64_t>(
+                    BenchSweep::instance().add(
+                        [threads, contended, apu] {
+                            constexpr unsigned iters = 50;
+                            const auto ut =
+                                static_cast<unsigned>(threads);
+                            std::uint64_t dram = 0;
+                            SweepOutcome o;
+                            o.run.ticks =
+                                apu ? apuAtomics(ut, iters,
+                                                 contended != 0,
+                                                 dram)
+                                    : ccsvmAtomics(ut, iters,
+                                                   contended != 0,
+                                                   dram);
+                            o.run.correct = true;
+                            o.values["dram"] =
+                                static_cast<double>(dram);
+                            return o;
+                        }));
                 benchmark::RegisterBenchmark(
                     apu ? "abl_atomics/apu_at_memory"
                         : "abl_atomics/ccsvm_at_l1",
                     BM_Atomics)
-                    ->Args({threads, contended, apu})
+                    ->Args({threads, contended, apu, job})
                     ->Iterations(1)
                     ->Unit(benchmark::kMillisecond);
             }

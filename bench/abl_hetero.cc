@@ -62,54 +62,62 @@ pairConfig(std::int64_t pair)
     return cfg;
 }
 
+// Simulations run up front through the BenchSweep; each job extracts
+// the pair-sensitive machine stats before its machine dies, and the
+// cases replay the outcomes in registration order.
+
+/** Fold the pair-sensitive traffic stats into the outcome before the
+ * machine is destroyed (jobs run on sweep workers). */
 void
-recordRow(system::CcsvmMachine &m, const char *workload,
-          std::int64_t pair, const workloads::RunResult &r)
+extractStats(system::CcsvmMachine &m, SweepOutcome &o)
+{
+    o.values["wb"] =
+        static_cast<double>(system::dirtyWritebacks(m));
+    o.values["swb_cpu"] = static_cast<double>(
+        system::clusterSharingWritebacks(m, "cpu"));
+    o.values["swb_mttop"] = static_cast<double>(
+        system::clusterSharingWritebacks(m, "mttop"));
+    o.values["invs"] =
+        static_cast<double>(system::l1Invalidations(m));
+}
+
+void
+recordRow(const SweepOutcome &out, const char *workload,
+          std::int64_t pair)
 {
     const std::string series = pairName(pair) + "_" + workload;
     auto &table = FigureTable::instance();
     const auto x = static_cast<std::uint64_t>(pair);
-    table.record(x, series + "_ms", toMs(r.ticks));
-    table.record(x, series + "_wb",
-                 static_cast<double>(system::dirtyWritebacks(m)));
-    table.record(
-        x, series + "_swb_cpu",
-        static_cast<double>(
-            system::clusterSharingWritebacks(m, "cpu")));
-    table.record(
-        x, series + "_swb_mttop",
-        static_cast<double>(
-            system::clusterSharingWritebacks(m, "mttop")));
-    table.record(x, series + "_invs",
-                 static_cast<double>(system::l1Invalidations(m)));
+    table.record(x, series + "_ms", toMs(out.run.ticks));
+    table.record(x, series + "_wb", out.values.at("wb"));
+    table.record(x, series + "_swb_cpu", out.values.at("swb_cpu"));
+    table.record(x, series + "_swb_mttop",
+                 out.values.at("swb_mttop"));
+    table.record(x, series + "_invs", out.values.at("invs"));
 }
 
 void
 BM_HeteroMatmul(benchmark::State &state)
 {
     const std::int64_t pair = state.range(0);
-    const auto n = static_cast<unsigned>(state.range(1));
-    system::CcsvmMachine m(pairConfig(pair));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulXthreads(m, n);
-    setCounters(state, r);
-    recordRow(m, "matmul", pair, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    recordRow(out, "matmul", pair);
 }
 
 void
 BM_HeteroSpmm(benchmark::State &state)
 {
     const std::int64_t pair = state.range(0);
-    const auto n = static_cast<unsigned>(state.range(1));
-    system::CcsvmMachine m(pairConfig(pair));
-    workloads::SpmmParams p;
-    p.n = n;
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmXthreads(m, p);
-    setCounters(state, r);
-    recordRow(m, "spmm", pair, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    recordRow(out, "spmm", pair);
 }
 
 void
@@ -117,15 +125,12 @@ BM_HeteroSynth(benchmark::State &state)
 {
     const std::int64_t pair = state.range(0);
     const auto pat = static_cast<synth::Pattern>(state.range(1));
-    system::CcsvmMachine m(pairConfig(pair));
-    synth::SynthParams p;
-    p.pattern = pat;
-    p.iters = 24;
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = synth::synthXthreads(m, p);
-    setCounters(state, r);
-    recordRow(m, synth::patternName(pat), pair, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    recordRow(out, synth::patternName(pat), pair);
 }
 
 void
@@ -137,23 +142,54 @@ registerAll()
                                             synth::Pattern::FalseShare};
     for (std::int64_t pair = 0; pair < 9; ++pair) {
         const std::string suffix = "_" + pairName(pair);
+        const auto matmul_job = static_cast<std::int64_t>(
+            BenchSweep::instance().add([pair, matmul_n] {
+                system::CcsvmMachine m(pairConfig(pair));
+                SweepOutcome o;
+                o.run = workloads::matmulXthreads(
+                    m, static_cast<unsigned>(matmul_n));
+                extractStats(m, o);
+                return o;
+            }));
         benchmark::RegisterBenchmark(
             ("abl_hetero/matmul" + suffix).c_str(), BM_HeteroMatmul)
-            ->Args({pair, matmul_n})
+            ->Args({pair, matmul_n, matmul_job})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
+        const auto spmm_job = static_cast<std::int64_t>(
+            BenchSweep::instance().add([pair, spmm_n] {
+                system::CcsvmMachine m(pairConfig(pair));
+                workloads::SpmmParams p;
+                p.n = static_cast<unsigned>(spmm_n);
+                SweepOutcome o;
+                o.run = workloads::spmmXthreads(m, p);
+                extractStats(m, o);
+                return o;
+            }));
         benchmark::RegisterBenchmark(
             ("abl_hetero/spmm" + suffix).c_str(), BM_HeteroSpmm)
-            ->Args({pair, spmm_n})
+            ->Args({pair, spmm_n, spmm_job})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         for (const synth::Pattern pat : kPatterns) {
+            const auto synth_job = static_cast<std::int64_t>(
+                BenchSweep::instance().add([pair, pat] {
+                    system::CcsvmMachine m(pairConfig(pair));
+                    synth::SynthParams p;
+                    p.pattern = pat;
+                    p.iters = 24;
+                    SweepOutcome o;
+                    o.run = synth::synthXthreads(m, p);
+                    extractStats(m, o);
+                    return o;
+                }));
             benchmark::RegisterBenchmark(
                 ("abl_hetero/" + std::string(synth::patternName(pat)) +
                  suffix)
                     .c_str(),
                 BM_HeteroSynth)
-                ->Args({pair, static_cast<std::int64_t>(pat)})
+                ->Args({pair, static_cast<std::int64_t>(pat),
+                        synth_job})
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }

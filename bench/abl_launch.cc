@@ -77,49 +77,69 @@ apuLaunch(unsigned threads)
         }) - m.config().threadSpawnLatency;
 }
 
+// Simulations run up front through the BenchSweep (each experiment
+// owns its machines); the cases replay the outcomes in registration
+// order.
+
+void
+recordLaunch(benchmark::State &state, const char *series)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const double us = static_cast<double>(out.run.ticks) / tickUs;
+    state.counters["launch_us"] = us;
+    FigureTable::instance().record(threads, series, us);
+}
+
 void
 BM_CcsvmLaunch(benchmark::State &state)
 {
-    const auto threads = static_cast<unsigned>(state.range(0));
-    Tick t = 0;
-    for (auto _ : state)
-        t = ccsvmLaunch(threads, dev::MifdConfig{});
-    state.counters["launch_us"] =
-        static_cast<double>(t) / tickUs;
-    FigureTable::instance().record(
-        threads, "ccsvm_launch_us", static_cast<double>(t) / tickUs);
+    recordLaunch(state, "ccsvm_launch_us");
 }
 
 void
 BM_CcsvmLaunchSlowMifd(benchmark::State &state)
 {
-    // Ablation within the ablation: a 10x slower MIFD barely moves
-    // the needle — the syscall dominates the CCSVM launch path.
-    const auto threads = static_cast<unsigned>(state.range(0));
-    dev::MifdConfig mifd;
-    mifd.taskAcceptLatency *= 10;
-    mifd.chunkDispatchLatency *= 10;
-    Tick t = 0;
-    for (auto _ : state)
-        t = ccsvmLaunch(threads, mifd);
-    state.counters["launch_us"] =
-        static_cast<double>(t) / tickUs;
-    FigureTable::instance().record(
-        threads, "ccsvm_slow_mifd_us",
-        static_cast<double>(t) / tickUs);
+    recordLaunch(state, "ccsvm_slow_mifd_us");
 }
 
 void
 BM_ApuLaunch(benchmark::State &state)
 {
-    const auto threads = static_cast<unsigned>(state.range(0));
-    Tick t = 0;
-    for (auto _ : state)
-        t = apuLaunch(threads);
-    state.counters["launch_us"] =
-        static_cast<double>(t) / tickUs;
-    FigureTable::instance().record(
-        threads, "apu_launch_us", static_cast<double>(t) / tickUs);
+    recordLaunch(state, "apu_launch_us");
+}
+
+std::int64_t
+addLaunchJob(std::int64_t threads, int flavor)
+{
+    return static_cast<std::int64_t>(
+        BenchSweep::instance().add([threads, flavor] {
+            const auto ut = static_cast<unsigned>(threads);
+            SweepOutcome o;
+            switch (flavor) {
+              case 0:
+                o.run.ticks = ccsvmLaunch(ut, dev::MifdConfig{});
+                break;
+              case 1: {
+                // Ablation within the ablation: a 10x slower MIFD
+                // barely moves the needle — the syscall dominates
+                // the CCSVM launch path.
+                dev::MifdConfig mifd;
+                mifd.taskAcceptLatency *= 10;
+                mifd.chunkDispatchLatency *= 10;
+                o.run.ticks = ccsvmLaunch(ut, mifd);
+                break;
+              }
+              default:
+                o.run.ticks = apuLaunch(ut);
+                break;
+            }
+            o.run.correct = true;
+            return o;
+        }));
 }
 
 void
@@ -128,17 +148,17 @@ registerAll()
     for (std::int64_t threads : {8, 64, 256, 1024}) {
         benchmark::RegisterBenchmark("abl_launch/ccsvm",
                                      BM_CcsvmLaunch)
-            ->Arg(threads)
+            ->Args({threads, addLaunchJob(threads, 0)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark("abl_launch/ccsvm_slow_mifd",
                                      BM_CcsvmLaunchSlowMifd)
-            ->Arg(threads)
+            ->Args({threads, addLaunchJob(threads, 1)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark("abl_launch/apu_opencl",
                                      BM_ApuLaunch)
-            ->Arg(threads)
+            ->Args({threads, addLaunchJob(threads, 2)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }

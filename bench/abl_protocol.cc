@@ -31,17 +31,22 @@ using system::l1Invalidations;
 constexpr Protocol kProtocols[] = {Protocol::MSI, Protocol::MESI,
                                    Protocol::MOESI};
 
+// Simulations run up front through the BenchSweep; each job extracts
+// the protocol-sensitive machine stats before its machine dies, and
+// the cases replay the outcomes in registration order.
+
 void
-recordRow(system::CcsvmMachine &m, const char *workload,
-          std::uint64_t x, const workloads::RunResult &r)
+recordRow(const SweepOutcome &out, const char *pname,
+          const char *workload, std::uint64_t x)
 {
-    const std::string p = coherence::protocolName(m.protocol());
+    const std::string p = pname;
     auto &table = FigureTable::instance();
-    table.record(x, p + "_" + workload + "_ms", toMs(r.ticks));
+    table.record(x, p + "_" + workload + "_ms",
+                 toMs(out.run.ticks));
     table.record(x, p + "_" + workload + "_wb",
-                 static_cast<double>(dirtyWritebacks(m)));
+                 out.values.at("wb"));
     table.record(x, p + "_" + workload + "_invs",
-                 static_cast<double>(l1Invalidations(m)));
+                 out.values.at("invs"));
 }
 
 void
@@ -49,14 +54,12 @@ BM_ProtocolMatmul(benchmark::State &state)
 {
     const auto proto = kProtocols[state.range(0)];
     const auto n = static_cast<unsigned>(state.range(1));
-    system::CcsvmConfig cfg;
-    cfg.protocol = proto;
-    system::CcsvmMachine m(cfg);
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulXthreads(m, n);
-    setCounters(state, r);
-    recordRow(m, "matmul", n, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    recordRow(out, coherence::protocolName(proto), "matmul", n);
 }
 
 void
@@ -64,16 +67,37 @@ BM_ProtocolSpmm(benchmark::State &state)
 {
     const auto proto = kProtocols[state.range(0)];
     const auto n = static_cast<unsigned>(state.range(1));
-    system::CcsvmConfig cfg;
-    cfg.protocol = proto;
-    system::CcsvmMachine m(cfg);
-    workloads::SpmmParams p;
-    p.n = n;
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmXthreads(m, p);
-    setCounters(state, r);
-    recordRow(m, "spmm", n, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    recordRow(out, coherence::protocolName(proto), "spmm", n);
+}
+
+std::int64_t
+addProtocolJob(std::int64_t pi, std::int64_t n, bool spmm)
+{
+    return static_cast<std::int64_t>(
+        BenchSweep::instance().add([pi, n, spmm] {
+            system::CcsvmConfig cfg;
+            cfg.protocol = kProtocols[pi];
+            system::CcsvmMachine m(cfg);
+            SweepOutcome o;
+            if (spmm) {
+                workloads::SpmmParams p;
+                p.n = static_cast<unsigned>(n);
+                o.run = workloads::spmmXthreads(m, p);
+            } else {
+                o.run = workloads::matmulXthreads(
+                    m, static_cast<unsigned>(n));
+            }
+            o.values["wb"] =
+                static_cast<double>(dirtyWritebacks(m));
+            o.values["invs"] =
+                static_cast<double>(l1Invalidations(m));
+            return o;
+        }));
 }
 
 void
@@ -92,7 +116,7 @@ registerAll()
                 ("abl_protocol/matmul_" + std::string(pname))
                     .c_str(),
                 BM_ProtocolMatmul)
-                ->Args({pi, n})
+                ->Args({pi, n, addProtocolJob(pi, n, false)})
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }
@@ -100,7 +124,7 @@ registerAll()
             benchmark::RegisterBenchmark(
                 ("abl_protocol/spmm_" + std::string(pname)).c_str(),
                 BM_ProtocolSpmm)
-                ->Args({pi, n})
+                ->Args({pi, n, addProtocolJob(pi, n, true)})
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }

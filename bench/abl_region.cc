@@ -63,6 +63,10 @@ sumDirCounter(system::CcsvmMachine &m, const std::string &suffix)
     return total;
 }
 
+// Simulations run up front through the BenchSweep; each job extracts
+// the directory counters before its machine dies, and the cases
+// replay the outcomes in registration order.
+
 void
 BM_RegionSynth(benchmark::State &state)
 {
@@ -71,40 +75,23 @@ BM_RegionSynth(benchmark::State &state)
     const auto proto =
         coherence::allProtocols[static_cast<std::size_t>(
             state.range(2))];
-
-    system::CcsvmConfig cfg;
-    cfg.protocol = proto;
-    system::CcsvmMachine m(cfg);
-
-    synth::SynthParams p;
-    p.pattern = pat;
-    p.iters = largeSweeps() ? 24 : 8;
-    p.regionAttr = attr.attr;
-    p.regionProt = attr.prot;
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = synth::synthXthreads(m, p);
-    setCounters(state, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(3)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
 
     const std::string series = std::string(attr.name) + "_" +
                                synth::patternName(pat) + "_" +
                                protocolName(proto);
     auto &table = FigureTable::instance();
     const auto x = static_cast<std::uint64_t>(state.range(0));
-    table.record(x, series + "_ms", toMs(r.ticks));
+    table.record(x, series + "_ms", toMs(out.run.ticks));
     table.record(x, series + "_dram",
-                 static_cast<double>(r.dramAccesses));
-    table.record(x, series + "_fills",
-                 static_cast<double>(sumDirCounter(m, ".fetches")));
-    table.record(
-        x, series + "_dirinvs",
-        static_cast<double>(sumDirCounter(m, ".invsSent.cpu") +
-                            sumDirCounter(m, ".invsSent.mttop") +
-                            sumDirCounter(m, ".recalls")));
-    table.record(
-        x, series + "_bypass",
-        static_cast<double>(sumDirCounter(m, ".bypassReads") +
-                            sumDirCounter(m, ".bypassWrites")));
+                 static_cast<double>(out.run.dramAccesses));
+    table.record(x, series + "_fills", out.values.at("fills"));
+    table.record(x, series + "_dirinvs", out.values.at("dirinvs"));
+    table.record(x, series + "_bypass", out.values.at("bypass"));
 }
 
 void
@@ -113,6 +100,30 @@ registerAll()
     for (std::int64_t a = 0; a < 3; ++a) {
         for (const synth::Pattern pat : kPatterns) {
             for (std::int64_t pr = 0; pr < 3; ++pr) {
+                const auto job = static_cast<std::int64_t>(
+                    BenchSweep::instance().add([a, pat, pr] {
+                        system::CcsvmConfig cfg;
+                        cfg.protocol = coherence::allProtocols
+                            [static_cast<std::size_t>(pr)];
+                        system::CcsvmMachine m(cfg);
+                        synth::SynthParams p;
+                        p.pattern = pat;
+                        p.iters = largeSweeps() ? 24 : 8;
+                        p.regionAttr = kAttrs[a].attr;
+                        p.regionProt = kAttrs[a].prot;
+                        SweepOutcome o;
+                        o.run = synth::synthXthreads(m, p);
+                        o.values["fills"] = static_cast<double>(
+                            sumDirCounter(m, ".fetches"));
+                        o.values["dirinvs"] = static_cast<double>(
+                            sumDirCounter(m, ".invsSent.cpu") +
+                            sumDirCounter(m, ".invsSent.mttop") +
+                            sumDirCounter(m, ".recalls"));
+                        o.values["bypass"] = static_cast<double>(
+                            sumDirCounter(m, ".bypassReads") +
+                            sumDirCounter(m, ".bypassWrites"));
+                        return o;
+                    }));
                 const std::string name =
                     std::string("abl_region/") +
                     synth::patternName(pat) + "_" + kAttrs[a].name +
@@ -121,7 +132,8 @@ registerAll()
                                      [static_cast<std::size_t>(pr)]);
                 benchmark::RegisterBenchmark(name.c_str(),
                                              BM_RegionSynth)
-                    ->Args({a, static_cast<std::int64_t>(pat), pr})
+                    ->Args({a, static_cast<std::int64_t>(pat), pr,
+                            job})
                     ->Iterations(1)
                     ->Unit(benchmark::kMillisecond);
             }

@@ -35,6 +35,10 @@ constexpr Protocol kProtocols[] = {Protocol::MSI, Protocol::MESI,
 /** Threads dispatched per MTTOP core (the MIFD's SIMD chunk). */
 constexpr unsigned kThreadsPerCore = 8;
 
+// Simulations run up front through the BenchSweep; each job extracts
+// the protocol-sensitive machine stats before its machine dies, and
+// the cases replay the outcomes in registration order.
+
 void
 BM_Synth(benchmark::State &state)
 {
@@ -42,32 +46,22 @@ BM_Synth(benchmark::State &state)
     const auto pat = synth::allPatterns[static_cast<std::size_t>(
         state.range(1))];
     const auto cores = static_cast<int>(state.range(2));
-
-    system::CcsvmConfig cfg;
-    cfg.protocol = proto;
-    cfg.numMttopCores = cores;
-    system::CcsvmMachine m(cfg);
-
-    synth::SynthParams p;
-    p.pattern = pat;
-    p.threads = kThreadsPerCore * static_cast<unsigned>(cores);
-    p.iters = 48;
-
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = synth::synthXthreads(m, p);
-    setCounters(state, r);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(3)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
 
     const std::string series =
         std::string(coherence::protocolName(proto)) + "_" +
         synth::patternName(pat);
     auto &table = FigureTable::instance();
     table.record(static_cast<std::uint64_t>(cores), series + "_ms",
-                 toMs(r.ticks));
+                 toMs(out.run.ticks));
     table.record(static_cast<std::uint64_t>(cores), series + "_wb",
-                 static_cast<double>(system::dirtyWritebacks(m)));
+                 out.values.at("wb"));
     table.record(static_cast<std::uint64_t>(cores), series + "_invs",
-                 static_cast<double>(system::l1Invalidations(m)));
+                 out.values.at("invs"));
 }
 
 void
@@ -81,6 +75,27 @@ registerAll()
         for (std::size_t pat = 0; pat < synth::allPatterns.size();
              ++pat) {
             for (const std::int64_t cores : core_counts) {
+                const auto job = static_cast<std::int64_t>(
+                    BenchSweep::instance().add([pi, pat, cores] {
+                        system::CcsvmConfig cfg;
+                        cfg.protocol = kProtocols[pi];
+                        cfg.numMttopCores =
+                            static_cast<int>(cores);
+                        system::CcsvmMachine m(cfg);
+                        synth::SynthParams p;
+                        p.pattern = synth::allPatterns[pat];
+                        p.threads =
+                            kThreadsPerCore *
+                            static_cast<unsigned>(cores);
+                        p.iters = 48;
+                        SweepOutcome o;
+                        o.run = synth::synthXthreads(m, p);
+                        o.values["wb"] = static_cast<double>(
+                            system::dirtyWritebacks(m));
+                        o.values["invs"] = static_cast<double>(
+                            system::l1Invalidations(m));
+                        return o;
+                    }));
                 benchmark::RegisterBenchmark(
                     ("abl_synth/" +
                      std::string(synth::patternName(
@@ -89,7 +104,7 @@ registerAll()
                         .c_str(),
                     BM_Synth)
                     ->Args({pi, static_cast<std::int64_t>(pat),
-                            cores})
+                            cores, job})
                     ->Iterations(1)
                     ->Unit(benchmark::kMillisecond);
             }

@@ -25,25 +25,31 @@ using sim::GuestTask;
 using vm::VAddr;
 namespace xt = ccsvm::xthreads;
 
+// Simulations run up front through the BenchSweep (each experiment
+// owns its machines); the cases replay the outcomes in registration
+// order.
+
 void
 BM_TlbSize(benchmark::State &state)
 {
     const auto entries = static_cast<unsigned>(state.range(0));
-    system::CcsvmConfig cfg;
-    cfg.cpu.tlbEntries = entries;
-    cfg.mttop.tlbEntries = entries;
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulXthreads(64, cfg);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(entries, "matmul64_ms",
                                    toMs(r.ticks));
 }
 
-void
-BM_Shootdown(benchmark::State &state)
+/** The shootdown-interference experiment: MTTOP threads loop over a
+ * working set while the CPU unmaps/remaps a scratch page; returns the
+ * run's ticks, with the wholesale MTTOP TLB flush count extracted
+ * before the machine dies. */
+SweepOutcome
+shootdownExperiment(unsigned remaps)
 {
-    const auto remaps = static_cast<unsigned>(state.range(0));
     system::CcsvmMachine m;
     auto &proc = m.createProcess();
     constexpr unsigned threads = 32;
@@ -63,7 +69,7 @@ BM_Shootdown(benchmark::State &state)
         proc.poke<std::uint64_t>(data + pg * mem::pageBytes, 1);
 
     Tick t = 0;
-    for (auto _ : state) {
+    {
         t = m.runMain(
             proc,
             [remaps](ThreadContext &ctx, VAddr a) -> GuestTask {
@@ -120,9 +126,10 @@ BM_Shootdown(benchmark::State &state)
             },
             args);
     }
-    state.counters["sim_us"] = static_cast<double>(t) / tickUs;
-    // Rows keyed 1000+remaps to keep them apart from the TLB sweep.
-    state.counters["mttop_tlb_flushes"] = static_cast<double>(
+    SweepOutcome o;
+    o.run.ticks = t;
+    o.run.correct = true;
+    o.values["mttop_tlb_flushes"] = static_cast<double>(
         m.stats().sumMatching("mttop") > 0
             ? [&] {
                   std::uint64_t f = 0;
@@ -133,25 +140,56 @@ BM_Shootdown(benchmark::State &state)
                   return f;
               }()
             : 0);
+    return o;
+}
+
+void
+BM_Shootdown(benchmark::State &state)
+{
+    const auto remaps = static_cast<unsigned>(state.range(0));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const double us = static_cast<double>(out.run.ticks) / tickUs;
+    state.counters["sim_us"] = us;
+    // Rows keyed 1000+remaps to keep them apart from the TLB sweep.
+    state.counters["mttop_tlb_flushes"] =
+        out.values.at("mttop_tlb_flushes");
     FigureTable::instance().record(1000 + remaps,
-                                   "shootdown_run_us",
-                                   static_cast<double>(t) / tickUs);
+                                   "shootdown_run_us", us);
 }
 
 void
 registerAll()
 {
     for (std::int64_t entries : {4, 8, 16, 64}) {
+        const auto job = static_cast<std::int64_t>(
+            BenchSweep::instance().add([entries] {
+                system::CcsvmConfig cfg;
+                cfg.cpu.tlbEntries =
+                    static_cast<unsigned>(entries);
+                cfg.mttop.tlbEntries =
+                    static_cast<unsigned>(entries);
+                SweepOutcome o;
+                o.run = workloads::matmulXthreads(64, cfg);
+                return o;
+            }));
         benchmark::RegisterBenchmark("abl_tlb/size_sweep",
                                      BM_TlbSize)
-            ->Arg(entries)
+            ->Args({entries, job})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }
     for (std::int64_t remaps : {0, 4, 16}) {
+        const auto job = static_cast<std::int64_t>(
+            BenchSweep::instance().add([remaps] {
+                return shootdownExperiment(
+                    static_cast<unsigned>(remaps));
+            }));
         benchmark::RegisterBenchmark("abl_tlb/shootdowns",
                                      BM_Shootdown)
-            ->Arg(remaps)
+            ->Args({remaps, job})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }

@@ -22,12 +22,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
 #include "sim/stats.hh"
+#include "sim/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace ccsvm::bench
@@ -39,6 +41,97 @@ largeSweeps()
     const char *env = std::getenv("CCSVM_BENCH_LARGE");
     return env && env[0] == '1';
 }
+
+/**
+ * What one sweep job produced: the workload's RunResult (or at least
+ * run.ticks for hand-rolled experiments) plus any machine stats the
+ * bench reads after the run, extracted before the machine dies.
+ */
+struct SweepOutcome
+{
+    workloads::RunResult run;
+    std::map<std::string, double> values;
+};
+
+/**
+ * The per-binary simulation sweep. Each figure binary registers one
+ * job per (system, size) point at static-init time — a pure function
+ * running one full simulation on a machine it owns — and
+ * CCSVM_BENCH_MAIN runs them all through one sim::SweepRunner before
+ * google-benchmark replays the results. The benchmark cases and the
+ * FigureTable recording stay on the main thread in registration
+ * order, so stdout and BENCH_*.json are byte-identical for every
+ * worker count.
+ *
+ * Environment: CCSVM_BENCH_JOBS=N caps the workers (1 = sequential,
+ * unset = CCSVM_JOBS, then hardware concurrency).
+ *
+ * Note jobs run regardless of --benchmark_filter: the sweep is the
+ * unit of execution, the benchmark cases only read it.
+ */
+class BenchSweep
+{
+  public:
+    static BenchSweep &
+    instance()
+    {
+        static BenchSweep s;
+        return s;
+    }
+
+    /** Register one job; returns its index (pass it to the benchmark
+     * case through an Arg). */
+    std::size_t
+    add(std::function<SweepOutcome()> job)
+    {
+        jobs_.push_back(std::move(job));
+        return jobs_.size() - 1;
+    }
+
+    /** Run every registered job (idempotent; the first call does the
+     * simulating). */
+    void
+    runAll()
+    {
+        if (ran_)
+            return;
+        ran_ = true;
+        unsigned jobs = 0;
+        if (const char *env = std::getenv("CCSVM_BENCH_JOBS");
+            env && env[0]) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (!*end)
+                jobs = static_cast<unsigned>(v);
+        }
+        const sim::SweepRunner runner(jobs);
+        results_ = runner.map<SweepOutcome>(jobs_);
+    }
+
+    const SweepOutcome &
+    result(std::size_t idx)
+    {
+        runAll();
+        return results_.at(idx);
+    }
+
+    /** Sum of run.ticks over every outcome — the binary's total
+     * simulated time, reported in the figure JSON. */
+    std::uint64_t
+    totalSimTicks()
+    {
+        runAll();
+        std::uint64_t total = 0;
+        for (const auto &o : results_)
+            total += o.run.ticks;
+        return total;
+    }
+
+  private:
+    std::vector<std::function<SweepOutcome()>> jobs_;
+    std::vector<SweepOutcome> results_;
+    bool ran_ = false;
+};
 
 /** Collected series for the post-run figure table. */
 class FigureTable
@@ -100,7 +193,9 @@ class FigureTable
             return false;
         os << "{\n  \"title\": \"" << sim::jsonEscape(title)
            << "\",\n  \"x_label\": \"" << sim::jsonEscape(x_label)
-           << "\",\n  \"series\": [";
+           << "\",\n  \"total_sim_ticks\": "
+           << BenchSweep::instance().totalSimTicks()
+           << ",\n  \"series\": [";
         std::vector<std::string> cols(seriesNames_.size());
         for (const auto &[name, idx] : seriesNames_)
             cols[idx] = name;
@@ -163,12 +258,15 @@ setCounters(benchmark::State &state,
     }
 }
 
-/** Main with a figure table printed after the benchmark run. */
+/** Main with a figure table printed after the benchmark run. The
+ * simulation sweep runs first (multi-threaded, see BenchSweep); the
+ * benchmark cases then replay its results on this thread. */
 #define CCSVM_BENCH_MAIN(title, x_label)                              \
     int main(int argc, char **argv)                                   \
     {                                                                 \
         ::ccsvm::setQuiet(true);                                      \
         ::benchmark::Initialize(&argc, argv);                         \
+        ::ccsvm::bench::BenchSweep::instance().runAll();              \
         ::benchmark::RunSpecifiedBenchmarks();                        \
         ::ccsvm::bench::FigureTable::instance().print(title,          \
                                                       x_label);       \

@@ -21,13 +21,20 @@ namespace
 
 std::map<unsigned, double> cpu_ms; // baseline per size
 
+// The simulations run up front through the BenchSweep (one job per
+// case, registered below); the cases replay the outcomes in
+// registration order, so the relative series still see the CPU
+// baseline first.
+
 void
 BM_CpuCore(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulCpuSingle(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     cpu_ms[n] = toMs(r.ticks);
     FigureTable::instance().record(n, "cpu_rel", 1.0);
@@ -38,9 +45,11 @@ void
 BM_Ccsvm(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulXthreads(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         n, "ccsvm_rel", toMs(r.ticks) / cpu_ms[n]);
@@ -50,14 +59,28 @@ void
 BM_ApuOpenCl(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::matmulOpenCl(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         n, "apu_full_rel", toMs(r.ticks) / cpu_ms[n]);
     FigureTable::instance().record(
         n, "apu_noinit_rel", toMs(r.ticksNoInit) / cpu_ms[n]);
+}
+
+std::int64_t
+addRunJob(workloads::RunResult (*fn)(unsigned),
+          std::int64_t n)
+{
+    return static_cast<std::int64_t>(BenchSweep::instance().add(
+        [fn, n] {
+            SweepOutcome o;
+            o.run = fn(static_cast<unsigned>(n));
+            return o;
+        }));
 }
 
 void
@@ -68,20 +91,29 @@ registerAll()
         sizes.push_back(96);
         sizes.push_back(128);
     }
+    auto cpu = [](unsigned n) {
+        return workloads::matmulCpuSingle(n);
+    };
+    auto ccsvm = [](unsigned n) {
+        return workloads::matmulXthreads(n);
+    };
+    auto apu = [](unsigned n) {
+        return workloads::matmulOpenCl(n);
+    };
     for (auto n : sizes) {
         // CPU baseline must run first: the others report relative.
         benchmark::RegisterBenchmark("fig5/cpu_core", BM_CpuCore)
-            ->Arg(n)
+            ->Args({n, addRunJob(cpu, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }
     for (auto n : sizes) {
         benchmark::RegisterBenchmark("fig5/ccsvm_xthreads", BM_Ccsvm)
-            ->Arg(n)
+            ->Args({n, addRunJob(ccsvm, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark("fig5/apu_opencl", BM_ApuOpenCl)
-            ->Arg(n)
+            ->Args({n, addRunJob(apu, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }

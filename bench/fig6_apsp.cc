@@ -20,13 +20,18 @@ namespace
 
 std::map<unsigned, double> cpu_ms;
 
+// Simulations run up front through the BenchSweep; the cases replay
+// the outcomes in registration order (CPU baseline first).
+
 void
 BM_CpuCore(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::apspCpuSingle(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     cpu_ms[n] = toMs(r.ticks);
     FigureTable::instance().record(n, "cpu_rel", 1.0);
@@ -37,9 +42,11 @@ void
 BM_Ccsvm(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::apspXthreads(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         n, "ccsvm_rel", toMs(r.ticks) / cpu_ms[n]);
@@ -49,14 +56,27 @@ void
 BM_ApuOpenCl(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::apspOpenCl(n);
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         n, "apu_full_rel", toMs(r.ticks) / cpu_ms[n]);
     FigureTable::instance().record(
         n, "apu_noinit_rel", toMs(r.ticksNoInit) / cpu_ms[n]);
+}
+
+std::int64_t
+addRunJob(workloads::RunResult (*fn)(unsigned), std::int64_t n)
+{
+    return static_cast<std::int64_t>(
+        BenchSweep::instance().add([fn, n] {
+            SweepOutcome o;
+            o.run = fn(static_cast<unsigned>(n));
+            return o;
+        }));
 }
 
 void
@@ -67,19 +87,28 @@ registerAll()
         sizes.push_back(64);
         sizes.push_back(96);
     }
+    auto cpu = [](unsigned n) {
+        return workloads::apspCpuSingle(n);
+    };
+    auto ccsvm = [](unsigned n) {
+        return workloads::apspXthreads(n);
+    };
+    auto apu = [](unsigned n) {
+        return workloads::apspOpenCl(n);
+    };
     for (auto n : sizes) {
         benchmark::RegisterBenchmark("fig6/cpu_core", BM_CpuCore)
-            ->Arg(n)
+            ->Args({n, addRunJob(cpu, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }
     for (auto n : sizes) {
         benchmark::RegisterBenchmark("fig6/ccsvm_xthreads", BM_Ccsvm)
-            ->Arg(n)
+            ->Args({n, addRunJob(ccsvm, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark("fig6/apu_opencl", BM_ApuOpenCl)
-            ->Arg(n)
+            ->Args({n, addRunJob(apu, n)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }

@@ -27,13 +27,18 @@ params(unsigned bodies)
 
 std::map<unsigned, double> cpu_ms;
 
+// Simulations run up front through the BenchSweep; the cases replay
+// the outcomes in registration order (CPU baseline first).
+
 void
 BM_CpuCore(benchmark::State &state)
 {
     const auto bodies = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::barnesHutCpuSingle(params(bodies));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     cpu_ms[bodies] = toMs(r.ticks);
     FigureTable::instance().record(bodies, "cpu_rel", 1.0);
@@ -44,9 +49,11 @@ void
 BM_Ccsvm(benchmark::State &state)
 {
     const auto bodies = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::barnesHutXthreads(params(bodies));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         bodies, "ccsvm_rel", toMs(r.ticks) / cpu_ms[bodies]);
@@ -56,12 +63,25 @@ void
 BM_Pthreads(benchmark::State &state)
 {
     const auto bodies = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::barnesHutPthreads(params(bodies));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         bodies, "pthreads4_rel", toMs(r.ticks) / cpu_ms[bodies]);
+}
+
+std::int64_t
+addRunJob(workloads::RunResult (*fn)(unsigned), std::int64_t bodies)
+{
+    return static_cast<std::int64_t>(
+        BenchSweep::instance().add([fn, bodies] {
+            SweepOutcome o;
+            o.run = fn(static_cast<unsigned>(bodies));
+            return o;
+        }));
 }
 
 void
@@ -72,20 +92,29 @@ registerAll()
         sizes.push_back(256);
         sizes.push_back(512);
     }
+    auto cpu = [](unsigned bodies) {
+        return workloads::barnesHutCpuSingle(params(bodies));
+    };
+    auto ccsvm = [](unsigned bodies) {
+        return workloads::barnesHutXthreads(params(bodies));
+    };
+    auto pthreads = [](unsigned bodies) {
+        return workloads::barnesHutPthreads(params(bodies));
+    };
     for (auto b : sizes) {
         benchmark::RegisterBenchmark("fig7/cpu_core", BM_CpuCore)
-            ->Arg(b)
+            ->Args({b, addRunJob(cpu, b)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }
     for (auto b : sizes) {
         benchmark::RegisterBenchmark("fig7/ccsvm_xthreads", BM_Ccsvm)
-            ->Arg(b)
+            ->Args({b, addRunJob(ccsvm, b)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark("fig7/pthreads_4cpu",
                                      BM_Pthreads)
-            ->Arg(b)
+            ->Args({b, addRunJob(pthreads, b)})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     }

@@ -38,13 +38,18 @@ densityParams(unsigned density_permille)
     return p;
 }
 
+// Simulations run up front through the BenchSweep; the cases replay
+// the outcomes in registration order (CPU baselines first).
+
 void
 BM_SizeCpu(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmCpuSingle(sizeParams(n));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     cpu_ms_size[n] = toMs(r.ticks);
 }
@@ -53,9 +58,11 @@ void
 BM_SizeCcsvm(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmXthreads(sizeParams(n));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         n, "speedup_vs_cpu(size,1%)",
@@ -66,9 +73,11 @@ void
 BM_DensityCpu(benchmark::State &state)
 {
     const auto permille = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmCpuSingle(densityParams(permille));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     cpu_ms_density[permille] = toMs(r.ticks);
 }
@@ -77,13 +86,27 @@ void
 BM_DensityCcsvm(benchmark::State &state)
 {
     const auto permille = static_cast<unsigned>(state.range(0));
-    workloads::RunResult r;
-    for (auto _ : state)
-        r = workloads::spmmXthreads(densityParams(permille));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+    }
+    const workloads::RunResult &r = out.run;
     setCounters(state, r);
     FigureTable::instance().record(
         1000 + permille, "speedup_vs_cpu(density@fixedN)",
         cpu_ms_density[permille] / toMs(r.ticks));
+}
+
+std::int64_t
+addSpmmJob(bool ccsvm, workloads::SpmmParams p)
+{
+    return static_cast<std::int64_t>(
+        BenchSweep::instance().add([ccsvm, p] {
+            SweepOutcome o;
+            o.run = ccsvm ? workloads::spmmXthreads(p)
+                          : workloads::spmmCpuSingle(p);
+            return o;
+        }));
 }
 
 void
@@ -97,13 +120,15 @@ registerAll()
     }
     for (auto n : sizes)
         benchmark::RegisterBenchmark("fig8/size/cpu_core", BM_SizeCpu)
-            ->Arg(n)
+            ->Args({n, addSpmmJob(false, sizeParams(
+                                             static_cast<unsigned>(n)))})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     for (auto n : sizes)
         benchmark::RegisterBenchmark("fig8/size/ccsvm_xthreads",
                                      BM_SizeCcsvm)
-            ->Arg(n)
+            ->Args({n, addSpmmJob(true, sizeParams(
+                                            static_cast<unsigned>(n)))})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
 
@@ -113,13 +138,17 @@ registerAll()
     for (auto d : densities)
         benchmark::RegisterBenchmark("fig8/density/cpu_core",
                                      BM_DensityCpu)
-            ->Arg(d)
+            ->Args({d, addSpmmJob(false,
+                                  densityParams(
+                                      static_cast<unsigned>(d)))})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     for (auto d : densities)
         benchmark::RegisterBenchmark("fig8/density/ccsvm_xthreads",
                                      BM_DensityCcsvm)
-            ->Arg(d)
+            ->Args({d, addSpmmJob(true,
+                                  densityParams(
+                                      static_cast<unsigned>(d)))})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
 }

@@ -17,29 +17,22 @@ namespace ccsvm::bench
 namespace
 {
 
+// Simulations run up front through the BenchSweep; the cases replay
+// the outcomes in registration order.
+
 void
 BM_Dram(benchmark::State &state)
 {
     const auto n = static_cast<unsigned>(state.range(0));
     const auto system = static_cast<int>(state.range(1));
-    workloads::RunResult r;
-    const char *series = "";
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
     for (auto _ : state) {
-        switch (system) {
-          case 0:
-            r = workloads::matmulCpuSingle(n);
-            series = "cpu_dram";
-            break;
-          case 1:
-            r = workloads::matmulXthreads(n);
-            series = "ccsvm_dram";
-            break;
-          case 2:
-            r = workloads::matmulOpenCl(n);
-            series = "apu_dram";
-            break;
-        }
     }
+    const workloads::RunResult &r = out.run;
+    const char *series = system == 0   ? "cpu_dram"
+                         : system == 1 ? "ccsvm_dram"
+                                       : "apu_dram";
     setCounters(state, r);
     FigureTable::instance().record(
         n, series, static_cast<double>(r.dramAccesses));
@@ -54,9 +47,26 @@ registerAll()
     const char *names[3] = {"fig9/cpu_core", "fig9/ccsvm_xthreads",
                             "fig9/apu_opencl"};
     for (auto n : sizes) {
-        for (int sys = 0; sys < 3; ++sys) {
+        for (std::int64_t sys = 0; sys < 3; ++sys) {
+            const auto job = static_cast<std::int64_t>(
+                BenchSweep::instance().add([n, sys] {
+                    const auto un = static_cast<unsigned>(n);
+                    SweepOutcome o;
+                    switch (sys) {
+                      case 0:
+                        o.run = workloads::matmulCpuSingle(un);
+                        break;
+                      case 1:
+                        o.run = workloads::matmulXthreads(un);
+                        break;
+                      default:
+                        o.run = workloads::matmulOpenCl(un);
+                        break;
+                    }
+                    return o;
+                }));
             benchmark::RegisterBenchmark(names[sys], BM_Dram)
-                ->Args({n, sys})
+                ->Args({n, sys, job})
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }

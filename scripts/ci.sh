@@ -2,7 +2,7 @@
 # Tier-1 verify: configure, build warnings-as-errors, run every test.
 # Usage: scripts/ci.sh [build-dir]
 #   CCSVM_BUILD_TYPE=Release|Debug   CMake build type (default Release)
-#   CCSVM_SANITIZE=1                 build with ASan+UBSan
+#   CCSVM_SANITIZE=1|address|thread  sanitizer lane (ASan+UBSan or TSan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,9 +10,11 @@ BUILD_DIR="${1:-build}"
 
 CMAKE_ARGS=(-DCCSVM_WERROR=ON
             -DCMAKE_BUILD_TYPE="${CCSVM_BUILD_TYPE:-Release}")
-if [[ "${CCSVM_SANITIZE:-0}" == 1 ]]; then
-    CMAKE_ARGS+=(-DCCSVM_SANITIZE=ON)
-fi
+case "${CCSVM_SANITIZE:-0}" in
+    0) ;;
+    1) CMAKE_ARGS+=(-DCCSVM_SANITIZE=ON) ;;
+    *) CMAKE_ARGS+=(-DCCSVM_SANITIZE="$CCSVM_SANITIZE") ;;
+esac
 # Compile through ccache when available (the CI workflow caches
 # ~/.cache/ccache across runs; local builds just get faster rebuilds).
 if command -v ccache >/dev/null 2>&1; then

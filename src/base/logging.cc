@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,9 @@ namespace ccsvm
 
 namespace
 {
-bool quietFlag = false;
+// Atomic: sweep workers running concurrent machines read this while
+// the main thread may still be configuring it.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "base/random.hh"
 #include "runtime/xthreads.hh"
 
 namespace ccsvm::workloads
@@ -27,30 +28,89 @@ namespace xt = ccsvm::xthreads;
 namespace
 {
 
-/** Deterministic input values, computable by guest and host alike. */
+/** Historical deterministic input values (the default-seed inputs). */
 constexpr std::int32_t
-inputA(unsigned i, unsigned k)
+legacyA(unsigned i, unsigned k)
 {
     return static_cast<std::int32_t>((i * 7 + k * 13) % 17) - 8;
 }
 
 constexpr std::int32_t
-inputB(unsigned k, unsigned j)
+legacyB(unsigned k, unsigned j)
 {
     return static_cast<std::int32_t>((k * 5 + j * 11) % 19) - 9;
 }
 
+/**
+ * The input matrices of one run, materialized host-side so the guest
+ * generation loop, the golden model and the validator all read the
+ * same values. Seed 0 reproduces the historical affine-modular
+ * inputs byte for byte (the pre-seed simulator's output is a golden
+ * reference in several sweep tests); any other seed draws from the
+ * repo PRNG in the same value ranges. Each run owns its generator —
+ * the paper's programs call libc rand() here (Figures 3/4), but a
+ * process-global PRNG would make concurrent sweep machines perturb
+ * each other's inputs.
+ */
+class MatmulInputs
+{
+  public:
+    MatmulInputs(unsigned n, std::uint64_t seed) : n_(n)
+    {
+        const std::size_t elems = std::size_t(n) * n;
+        a_.resize(elems);
+        b_.resize(elems);
+        if (seed == 0) {
+            for (std::size_t idx = 0; idx < elems; ++idx) {
+                const auto i = static_cast<unsigned>(idx / n);
+                const auto k = static_cast<unsigned>(idx % n);
+                a_[idx] = legacyA(i, k);
+                b_[idx] = legacyB(i, k);
+            }
+        } else {
+            Random rng(seed);
+            for (std::size_t idx = 0; idx < elems; ++idx) {
+                a_[idx] = static_cast<std::int32_t>(
+                    rng.range(-8, 8));
+                b_[idx] = static_cast<std::int32_t>(
+                    rng.range(-9, 9));
+            }
+        }
+    }
+
+    std::int32_t
+    a(unsigned i, unsigned k) const
+    {
+        return a_[std::size_t(i) * n_ + k];
+    }
+
+    std::int32_t
+    b(unsigned k, unsigned j) const
+    {
+        return b_[std::size_t(k) * n_ + j];
+    }
+
+    /** Element of the generation loop's flat write order. */
+    std::int32_t aFlat(unsigned idx) const { return a_[idx]; }
+    std::int32_t bFlat(unsigned idx) const { return b_[idx]; }
+
+  private:
+    unsigned n_;
+    std::vector<std::int32_t> a_;
+    std::vector<std::int32_t> b_;
+};
+
 /** Host golden model. */
 std::vector<std::int32_t>
-goldenMatmul(unsigned n)
+goldenMatmul(const MatmulInputs &in, unsigned n)
 {
     std::vector<std::int32_t> c(static_cast<std::size_t>(n) * n, 0);
     for (unsigned i = 0; i < n; ++i) {
         for (unsigned j = 0; j < n; ++j) {
             std::int64_t acc = 0;
             for (unsigned k = 0; k < n; ++k)
-                acc += static_cast<std::int64_t>(inputA(i, k)) *
-                       inputB(k, j);
+                acc += static_cast<std::int64_t>(in.a(i, k)) *
+                       in.b(k, j);
             c[static_cast<std::size_t>(i) * n + j] =
                 static_cast<std::int32_t>(acc);
         }
@@ -69,15 +129,18 @@ enum ArgSlot : unsigned
     argThreads = 40,
 };
 
-/** Guest input generation: the rand() loops of Figures 3/4. */
+/** Guest input generation: the rand() loops of Figures 3/4, with the
+ * values drawn from the run's own seeded input table. */
 GuestTask
-generateInputs(ThreadContext &ctx, VAddr a, VAddr b, unsigned n)
+generateInputs(ThreadContext &ctx, const MatmulInputs &in, VAddr a,
+               VAddr b, unsigned n)
 {
     for (unsigned idx = 0; idx < n * n; ++idx) {
-        const unsigned i = idx / n, k = idx % n;
         co_await ctx.compute(2);
-        co_await ctx.store<std::int32_t>(a + idx * 4, inputA(i, k));
-        co_await ctx.store<std::int32_t>(b + idx * 4, inputB(i, k));
+        co_await ctx.store<std::int32_t>(a + idx * 4,
+                                         in.aFlat(idx));
+        co_await ctx.store<std::int32_t>(b + idx * 4,
+                                         in.bFlat(idx));
     }
 }
 
@@ -123,9 +186,10 @@ matmulKernel(ThreadContext &ctx, VAddr args)
 }
 
 bool
-verify(runtime::Process &proc, VAddr c, unsigned n)
+verify(runtime::Process &proc, const MatmulInputs &in, VAddr c,
+       unsigned n)
 {
-    const auto golden = goldenMatmul(n);
+    const auto golden = goldenMatmul(in, n);
     for (unsigned idx = 0; idx < n * n; ++idx) {
         if (proc.peek<std::int32_t>(c + idx * 4) != golden[idx])
             return false;
@@ -136,8 +200,10 @@ verify(runtime::Process &proc, VAddr c, unsigned n)
 } // namespace
 
 RunResult
-matmulXthreads(system::CcsvmMachine &m, unsigned n, bool region_hints)
+matmulXthreads(system::CcsvmMachine &m, unsigned n, bool region_hints,
+               std::uint64_t seed)
 {
+    const MatmulInputs in(n, seed);
     runtime::Process &proc = m.createProcess();
 
     const unsigned max_contexts =
@@ -192,9 +258,9 @@ matmulXthreads(system::CcsvmMachine &m, unsigned n, bool region_hints)
     const std::uint64_t dram0 = m.dramAccesses();
     const Tick ticks = m.runMain(
         proc,
-        [a, b, n, num_threads](ThreadContext &ctx,
-                               VAddr args_va) -> GuestTask {
-            co_await generateInputs(ctx, a, b, n);
+        [&in, a, b, n, num_threads](ThreadContext &ctx,
+                                    VAddr args_va) -> GuestTask {
+            co_await generateInputs(ctx, in, a, b, n);
             const VAddr done_va =
                 co_await ctx.load<std::uint64_t>(args_va + argDone);
             co_await xt::createMthread(ctx, matmulKernel, args_va, 0,
@@ -208,7 +274,7 @@ matmulXthreads(system::CcsvmMachine &m, unsigned n, bool region_hints)
     r.ticks = ticks;
     r.ticksNoInit = ticks;
     r.dramAccesses = m.dramAccesses() - dram0;
-    r.correct = verify(proc, c, n);
+    r.correct = verify(proc, in, c, n);
     return r;
 }
 
@@ -220,8 +286,10 @@ matmulXthreads(unsigned n, system::CcsvmConfig cfg)
 }
 
 RunResult
-matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl)
+matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl,
+             std::uint64_t seed)
 {
+    const MatmulInputs in(n, seed);
     // Dense FMA-heavy kernels pack the Radeon VLIW well (the paper:
     // up to 4 ops per VLIW instruction when fully utilized).
     cfg.gpu.vliwUtilization = 4.0;
@@ -238,7 +306,7 @@ matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl)
     const std::uint64_t dram0 = m.dramAccesses();
     const Tick ticks = m.runMain(
         proc,
-        [&m, &cl, &ba, &bb, args, n,
+        [&m, &cl, &ba, &bb, &in, args, n,
          &init_ticks](ThreadContext &ctx, VAddr) -> GuestTask {
             const Tick t0 = m.now();
             co_await cl.init(ctx);
@@ -247,7 +315,7 @@ matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl)
 
             co_await cl.mapBuffer(ctx, ba);
             co_await cl.mapBuffer(ctx, bb);
-            co_await generateInputs(ctx, ba.va, bb.va, n);
+            co_await generateInputs(ctx, in, ba.va, bb.va, n);
             co_await cl.unmapBuffer(ctx, ba);
             co_await cl.unmapBuffer(ctx, bb);
 
@@ -276,7 +344,7 @@ matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl)
     r.dramAccesses = m.dramAccesses() - dram0;
     // Verify against the golden model through raw memory (the GPU
     // wrote through the pinned region).
-    const auto golden = goldenMatmul(n);
+    const auto golden = goldenMatmul(in, n);
     r.correct = true;
     for (unsigned idx = 0; idx < n * n; ++idx) {
         const auto v = static_cast<std::int32_t>(
@@ -290,8 +358,9 @@ matmulOpenCl(unsigned n, apu::ApuConfig cfg, apu::ocl::OclConfig ocl)
 }
 
 RunResult
-matmulCpuSingle(unsigned n, apu::ApuConfig cfg)
+matmulCpuSingle(unsigned n, apu::ApuConfig cfg, std::uint64_t seed)
 {
+    const MatmulInputs in(n, seed);
     apu::ApuMachine m(cfg);
     runtime::Process &proc = m.createProcess();
     const VAddr a = proc.gmalloc(n * n * 4);
@@ -301,8 +370,8 @@ matmulCpuSingle(unsigned n, apu::ApuConfig cfg)
     const std::uint64_t dram0 = m.dramAccesses();
     const Tick ticks = m.runMain(
         proc,
-        [a, b, c, n](ThreadContext &ctx, VAddr) -> GuestTask {
-            co_await generateInputs(ctx, a, b, n);
+        [&in, a, b, c, n](ThreadContext &ctx, VAddr) -> GuestTask {
+            co_await generateInputs(ctx, in, a, b, n);
             co_await matmulBody(ctx, a, b, c, n, 1, 0);
         });
 
@@ -312,7 +381,7 @@ matmulCpuSingle(unsigned n, apu::ApuConfig cfg)
     r.ticks = ticks - cfg.threadSpawnLatency;
     r.ticksNoInit = r.ticks;
     r.dramAccesses = m.dramAccesses() - dram0;
-    r.correct = verify(proc, c, n);
+    r.correct = verify(proc, in, c, n);
     return r;
 }
 

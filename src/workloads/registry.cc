@@ -14,11 +14,12 @@ WorkloadRegistry::WorkloadRegistry()
 {
     entries_.push_back(
         {"matmul", "dense matrix multiply (paper Fig. 5/9)",
-         {"--n", "--region-hints"},
+         {"--n", "--region-hints", "--seed"},
          [](system::CcsvmMachine &m, const WorkloadParams &p) {
-             return matmulXthreads(m, p.n, p.regionHints);
+             return matmulXthreads(m, p.n, p.regionHints,
+                                   p.matmulSeed);
          },
-         {}});
+         [](const WorkloadParams &p) { return p.matmulSeed; }});
     entries_.push_back(
         {"apsp",
          "all-pairs shortest path, barrier per iteration (Fig. 6)",
@@ -106,6 +107,27 @@ WorkloadRegistry::instance()
 {
     static const WorkloadRegistry r;
     return r;
+}
+
+namespace
+{
+// Materialize the registry during static initialization: the table is
+// fully built before main() runs, so sweep workers only ever touch a
+// completed, read-only structure (no magic-static construction racing
+// a concurrent lookup).
+[[maybe_unused]] const WorkloadRegistry &builtAtStartup =
+    WorkloadRegistry::instance();
+} // namespace
+
+void
+WorkloadRegistry::warnIgnoredFlags(
+    const WorkloadEntry &e, const std::vector<std::string> &set_flags,
+    const std::function<void(const std::string &)> &sink)
+{
+    for (const auto &flag : set_flags) {
+        if (!e.consumesFlag(flag))
+            sink(flag + " is ignored by workload '" + e.name + "'");
+    }
 }
 
 const WorkloadEntry *

@@ -36,6 +36,9 @@ namespace ccsvm::workloads
 struct WorkloadParams
 {
     unsigned n = 32; ///< matmul/apsp/spmm matrix dimension
+    /** matmul input seed: 0 (default) = the historical deterministic
+     * inputs; nonzero = per-run PRNG inputs (driver flag --seed). */
+    std::uint64_t matmulSeed = 0;
     BarnesHutParams bh;
     SpmmParams spmm;
     synth::SynthParams synth;
@@ -77,11 +80,28 @@ struct WorkloadEntry
     }
 };
 
-/** Immutable table of every workload, built on first use. */
+/** Immutable table of every workload. The table is materialized
+ * eagerly during static initialization (registry.cc), so by the time
+ * any sweep worker thread can call instance() the registry is a
+ * fully-built, read-only structure — no first-use construction under
+ * thread contention. */
 class WorkloadRegistry
 {
   public:
     static const WorkloadRegistry &instance();
+
+    /**
+     * The flags in @p set_flags that @p e does not consume, in input
+     * order. Reporting is the caller's job via @p sink — library code
+     * never writes to stderr on this path (the driver prints a
+     * "ccsvm: warning:" line per message; tests collect them).
+     * Each sink message reads "<flag> is ignored by workload '<name>'".
+     */
+    static void
+    warnIgnoredFlags(const WorkloadEntry &e,
+                     const std::vector<std::string> &set_flags,
+                     const std::function<void(const std::string &)>
+                         &sink);
 
     /** Entry for @p name, or nullptr. */
     const WorkloadEntry *find(std::string_view name) const;

@@ -56,14 +56,23 @@ struct RunResult
  * regions (protocol override to MESI): their fills stay clean-
  * exclusive and a reader of freshly written inputs makes the home
  * copy clean instead of dirty-sharing it, whatever the cluster
- * protocol (driver flag --region-hints). */
+ * protocol (driver flag --region-hints).
+ * @param seed input-matrix seed (driver flag --seed). 0 (the
+ * default) reproduces the historical affine-modular inputs byte for
+ * byte; any other value draws the inputs from the repo PRNG
+ * (base/random.hh) seeded per run — never from process-global libc
+ * rand() state, so concurrent machines cannot perturb each other's
+ * inputs. */
 RunResult matmulXthreads(system::CcsvmMachine &m, unsigned n,
-                         bool region_hints = false);
+                         bool region_hints = false,
+                         std::uint64_t seed = 0);
 RunResult matmulXthreads(unsigned n,
                          system::CcsvmConfig cfg = {});
 RunResult matmulOpenCl(unsigned n, apu::ApuConfig cfg = {},
-                       apu::ocl::OclConfig ocl = {});
-RunResult matmulCpuSingle(unsigned n, apu::ApuConfig cfg = {});
+                       apu::ocl::OclConfig ocl = {},
+                       std::uint64_t seed = 0);
+RunResult matmulCpuSingle(unsigned n, apu::ApuConfig cfg = {},
+                          std::uint64_t seed = 0);
 
 // --- all-pairs shortest path (Fig. 6) --------------------------------
 

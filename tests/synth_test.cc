@@ -227,7 +227,7 @@ TEST(Registry, FlagBookkeepingDistinguishesWorkloads)
     const WorkloadEntry *matmul = reg.find("matmul");
     ASSERT_NE(matmul, nullptr);
     EXPECT_TRUE(matmul->consumesFlag("--n"));
-    EXPECT_FALSE(matmul->consumesFlag("--seed"));
+    EXPECT_TRUE(matmul->consumesFlag("--seed"));
     EXPECT_FALSE(matmul->consumesFlag("--iters"));
 
     const WorkloadEntry *ptrchase = reg.find("synth:ptrchase");

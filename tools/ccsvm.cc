@@ -9,7 +9,14 @@
  *   ccsvm --workload matmul --n 32 --json out.json
  *   ccsvm --workload barneshut --bodies 128 --steps 2 --stats
  *   ccsvm --workload synth:migratory --iters 64 --synth-threads 8
+ *   ccsvm --workload matmul,synth:hot --protocol msi,moesi --jobs 4
  *   ccsvm --list-workloads
+ *
+ * Comma lists on --workload / --protocol form a sweep grid
+ * (workload-major); the points run on --jobs worker threads through
+ * sim::SweepRunner, and every output — stdout summaries, --stats
+ * text, the JSON file — is emitted in point order, byte-identical
+ * for every worker count.
  *
  * Workloads come from the workload registry
  * (src/workloads/registry.hh): the paper's four applications plus the
@@ -31,11 +38,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "coherence/protocol.hh"
 #include "sim/stats.hh"
+#include "sim/sweep.hh"
 #include "system/ccsvm_machine.hh"
 #include "workloads/registry.hh"
 
@@ -46,7 +56,18 @@ using namespace ccsvm;
 
 struct DriverOptions
 {
-    std::string workload = "matmul";
+    /** Selected workloads (--workload accepts a comma list; more
+     * than one name turns the run into a sweep). */
+    std::vector<std::string> workloads = {"matmul"};
+    /** Protocol axis (--protocol accepts a comma list); empty =
+     * the config default, a single protocol behaves exactly like the
+     * historical single-valued flag. */
+    std::vector<coherence::Protocol> protocols;
+    /** Sweep worker threads (--jobs): 0 = hardware concurrency,
+     * 1 = the historical sequential order. Only sweeps (more than
+     * one workload x protocol point) spawn workers at all. */
+    unsigned jobs = 0;
+
     workloads::WorkloadParams params;
     /** Workload-parameter flags the user actually passed, for the
      * ignored-flag warning. */
@@ -59,6 +80,25 @@ struct DriverOptions
     bool verbose = false;
 };
 
+/** One point of the workload x protocol grid. */
+struct PointSpec
+{
+    std::string workload;
+    const workloads::WorkloadEntry *entry;
+    system::CcsvmConfig cfg;
+};
+
+/** Everything a point's simulation produced, rendered on the worker
+ * so the main thread only concatenates in deterministic point
+ * order. */
+struct PointOutput
+{
+    std::string summary;   ///< the one-line stdout summary
+    std::string statsText; ///< --stats dump ("" when not requested)
+    std::string json;      ///< full JSON doc ("" when no --json)
+    bool correct = false;
+};
+
 void
 usage(const char *argv0, std::FILE *out = stdout)
 {
@@ -68,10 +108,18 @@ usage(const char *argv0, std::FILE *out = stdout)
         "usage: %s [options]\n"
         "\n"
         "workload selection:\n"
-        "  --workload NAME     one of: %s\n"
+        "  --workload NAMES    one of (comma-separate to sweep): %s\n"
         "                      (default matmul)\n"
         "  --list-workloads    list every workload with its summary "
         "and flags\n"
+        "\n"
+        "parallel sweeps (multiple --workload/--protocol values form "
+        "a grid;\nsee README \"Parallel sweeps\"):\n"
+        "  --jobs N            run sweep points on N worker threads\n"
+        "                      (default: hardware concurrency; 1 = "
+        "sequential\n"
+        "                      order; results are deterministic "
+        "either way)\n"
         "\n"
         "workload parameters (each consumed only by some workloads;\n"
         "setting one the selected workload ignores warns):\n"
@@ -111,8 +159,10 @@ usage(const char *argv0, std::FILE *out = stdout)
         "matmul A/B -> readmostly)\n"
         "\n"
         "machine configuration (defaults = paper Table 2):\n"
-        "  --protocol P        chip-wide coherence protocol: %s "
-        "(default moesi)\n"
+        "  --protocol P[,P..]  chip-wide coherence protocol: %s "
+        "(default moesi;\n"
+        "                      a comma list sweeps the protocol "
+        "axis)\n"
         "  --cpu-protocol P    CPU-cluster protocol (default: "
         "--protocol)\n"
         "  --mttop-protocol P  MTTOP-cluster protocol (default: "
@@ -295,6 +345,31 @@ parseRegion(const std::string &spec)
     return r;
 }
 
+/** Split a comma-separated flag value; rejects empty elements. */
+std::vector<std::string>
+splitList(const char *flag, const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        const std::size_t comma = value.find(',', pos);
+        const std::string item = value.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (item.empty()) {
+            std::fprintf(stderr,
+                         "ccsvm: %s has an empty element in '%s'\n",
+                         flag, value.c_str());
+            std::exit(2);
+        }
+        out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
 double
 parseDouble(const char *name, const char *value)
 {
@@ -334,7 +409,9 @@ parseArgs(int argc, char **argv)
             listWorkloads();
             std::exit(0);
         } else if (arg == "--workload") {
-            o.workload = next();
+            o.workloads = splitList("--workload", next());
+        } else if (arg == "--jobs") {
+            o.jobs = parseUnsigned("--jobs", next(), true);
         } else if (arg == "--n") {
             o.params.n = parseUnsigned("--n", next());
             wlFlag();
@@ -353,6 +430,7 @@ parseArgs(int argc, char **argv)
             o.params.bh.seed = s;
             o.params.spmm.seed = s;
             o.params.synth.seed = s;
+            o.params.matmulSeed = s;
             wlFlag();
         } else if (arg == "--iters") {
             o.params.synth.iters = parseUnsigned("--iters", next());
@@ -383,7 +461,12 @@ parseArgs(int argc, char **argv)
             o.params.regionHints = true;
             wlFlag();
         } else if (arg == "--protocol") {
-            o.cfg.protocol = parseProtocol("--protocol", next());
+            o.protocols.clear();
+            for (const auto &name :
+                 splitList("--protocol", next())) {
+                o.protocols.push_back(
+                    parseProtocol("--protocol", name.c_str()));
+            }
         } else if (arg == "--cpu-protocol") {
             o.cfg.cpuProtocol =
                 parseProtocol("--cpu-protocol", next());
@@ -456,50 +539,54 @@ parseArgs(int argc, char **argv)
 }
 
 /**
- * Resolve the selected workload in the registry; exits with the full
- * name list on an unknown name. Warns about workload-parameter flags
- * the selection will ignore.
+ * Resolve every selected workload in the registry; exits with the
+ * full name list on an unknown name. Warns (through the registry's
+ * caller-supplied sink) about workload-parameter flags a selection
+ * will ignore.
  */
-const workloads::WorkloadEntry &
-selectWorkload(const DriverOptions &o)
+std::vector<const workloads::WorkloadEntry *>
+selectWorkloads(const DriverOptions &o)
 {
     const auto &reg = workloads::WorkloadRegistry::instance();
-    const workloads::WorkloadEntry *e = reg.find(o.workload);
-    if (!e) {
-        std::fprintf(stderr,
-                     "ccsvm: unknown workload '%s' (want one of: "
-                     "%s)\n",
-                     o.workload.c_str(), reg.nameList().c_str());
-        std::exit(2);
-    }
-    for (const auto &flag : o.setFlags) {
-        if (!e->consumesFlag(flag)) {
+    std::vector<const workloads::WorkloadEntry *> out;
+    for (const auto &name : o.workloads) {
+        const workloads::WorkloadEntry *e = reg.find(name);
+        if (!e) {
             std::fprintf(stderr,
-                         "ccsvm: warning: %s is ignored by workload "
-                         "'%s'\n",
-                         flag.c_str(), e->name.c_str());
+                         "ccsvm: unknown workload '%s' (want one of: "
+                         "%s)\n",
+                         name.c_str(), reg.nameList().c_str());
+            std::exit(2);
         }
+        workloads::WorkloadRegistry::warnIgnoredFlags(
+            *e, o.setFlags, [](const std::string &msg) {
+                std::fprintf(stderr, "ccsvm: warning: %s\n",
+                             msg.c_str());
+            });
+        out.push_back(e);
     }
-    return *e;
+    return out;
 }
 
+/**
+ * Render one point's full JSON document (the historical single-run
+ * schema: params, machine, sim summary, full stats registry). Sweep
+ * mode embeds one such document per point; the single-point path
+ * writes exactly one, byte-identical to the pre-sweep driver.
+ */
 void
-writeJson(const DriverOptions &o,
-          const workloads::WorkloadEntry &entry,
-          system::CcsvmMachine &m, const workloads::RunResult &r)
+renderPointJson(std::ostream &os, const DriverOptions &o,
+                const PointSpec &spec,
+                system::CcsvmMachine &m,
+                const workloads::RunResult &r)
 {
-    std::ofstream os(o.jsonPath);
-    if (!os) {
-        std::fprintf(stderr, "ccsvm: cannot write %s\n",
-                     o.jsonPath.c_str());
-        std::exit(1);
-    }
+    const workloads::WorkloadEntry &entry = *spec.entry;
     const workloads::WorkloadParams &p = o.params;
     // The parameter groups default to different seeds; the registry
     // entry knows which one (if any) the workload consumed.
     const std::uint64_t seed = entry.seed ? entry.seed(p) : 0;
     os << "{\n"
-       << "  \"workload\": \"" << sim::jsonEscape(o.workload)
+       << "  \"workload\": \"" << sim::jsonEscape(spec.workload)
        << "\",\n"
        << "  \"params\": {\"n\": " << p.n
        << ", \"bodies\": " << p.bh.bodies
@@ -521,17 +608,17 @@ writeJson(const DriverOptions &o,
        << coherence::protocolName(m.cpuProtocol())
        << "\", \"mttop_protocol\": \""
        << coherence::protocolName(m.mttopProtocol())
-       << "\", \"cpu_cores\": " << o.cfg.numCpuCores
-       << ", \"mttop_cores\": " << o.cfg.numMttopCores
-       << ", \"mttop_contexts\": " << o.cfg.mttop.numContexts
-       << ", \"l2_banks\": " << o.cfg.numL2Banks
-       << ", \"cpu_l1_bytes\": " << o.cfg.cpuL1.sizeBytes
-       << ", \"mttop_l1_bytes\": " << o.cfg.mttopL1.sizeBytes
-       << ", \"l2_bank_bytes\": " << o.cfg.l2.bankSizeBytes
+       << "\", \"cpu_cores\": " << spec.cfg.numCpuCores
+       << ", \"mttop_cores\": " << spec.cfg.numMttopCores
+       << ", \"mttop_contexts\": " << spec.cfg.mttop.numContexts
+       << ", \"l2_banks\": " << spec.cfg.numL2Banks
+       << ", \"cpu_l1_bytes\": " << spec.cfg.cpuL1.sizeBytes
+       << ", \"mttop_l1_bytes\": " << spec.cfg.mttopL1.sizeBytes
+       << ", \"l2_bank_bytes\": " << spec.cfg.l2.bankSizeBytes
        << ",\n              \"region_hints\": "
        << (p.regionHints ? "true" : "false") << ", \"regions\": [";
-    for (std::size_t i = 0; i < o.cfg.regions.size(); ++i) {
-        const vm::MemRegion &reg = o.cfg.regions[i];
+    for (std::size_t i = 0; i < spec.cfg.regions.size(); ++i) {
+        const vm::MemRegion &reg = spec.cfg.regions[i];
         std::string attr = coherence::regionAttrName(reg.attr);
         if (reg.attr == coherence::RegionAttr::ProtocolOverride)
             attr += std::string(":") +
@@ -549,26 +636,20 @@ writeJson(const DriverOptions &o,
        << "},\n"
        << "  \"stats\": ";
     m.stats().dumpJson(os, "  ");
-    os << "\n}\n";
-    if (!os.flush()) {
-        std::fprintf(stderr, "ccsvm: short write to %s\n",
-                     o.jsonPath.c_str());
-        std::exit(1);
-    }
+    os << "\n}";
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/**
+ * Simulate one grid point and render everything it produces into
+ * strings. Safe to call from a sweep worker: the machine is local,
+ * and nothing here touches stdout/stderr or shared driver state — the
+ * main thread emits the strings in point order afterwards.
+ */
+PointOutput
+runPoint(const DriverOptions &o, const PointSpec &spec)
 {
-    const DriverOptions o = parseArgs(argc, argv);
-    const workloads::WorkloadEntry &entry = selectWorkload(o);
-    if (!o.verbose)
-        setQuiet(true);
-
-    system::CcsvmMachine m(o.cfg);
-    const workloads::RunResult r = entry.run(m, o.params);
+    system::CcsvmMachine m(spec.cfg);
+    const workloads::RunResult r = spec.entry->run(m, o.params);
 
     // Mirror the run summary into the registry so every consumer of
     // the stats dump — text or JSON — sees the headline numbers next
@@ -587,19 +668,111 @@ main(int argc, char **argv)
                   coherence::protocolName(m.cpuProtocol()) +
                   "/mttop:" +
                   coherence::protocolName(m.mttopProtocol());
-    std::printf("ccsvm: workload=%s protocol=%s ticks=%llu "
-                "sim_ms=%.3f dram=%llu correct=%s\n",
-                o.workload.c_str(), proto_str.c_str(),
-                (unsigned long long)r.ticks,
-                static_cast<double>(r.ticks) /
-                    static_cast<double>(tickMs),
-                (unsigned long long)r.dramAccesses,
-                r.correct ? "yes" : "NO");
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "ccsvm: workload=%s protocol=%s ticks=%llu "
+                  "sim_ms=%.3f dram=%llu correct=%s\n",
+                  spec.workload.c_str(), proto_str.c_str(),
+                  (unsigned long long)r.ticks,
+                  static_cast<double>(r.ticks) /
+                      static_cast<double>(tickMs),
+                  (unsigned long long)r.dramAccesses,
+                  r.correct ? "yes" : "NO");
 
-    if (o.textStats)
-        m.dumpStats(std::cout);
-    if (!o.jsonPath.empty())
-        writeJson(o, entry, m, r);
+    PointOutput out;
+    out.summary = line;
+    out.correct = r.correct;
+    if (o.textStats) {
+        std::ostringstream ss;
+        m.dumpStats(ss);
+        out.statsText = ss.str();
+    }
+    if (!o.jsonPath.empty()) {
+        std::ostringstream ss;
+        renderPointJson(ss, o, spec, m, r);
+        out.json = ss.str();
+    }
+    return out;
+}
 
-    return r.correct ? 0 : 1;
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const DriverOptions o = parseArgs(argc, argv);
+    const std::vector<const workloads::WorkloadEntry *> entries =
+        selectWorkloads(o);
+    if (!o.verbose)
+        setQuiet(true);
+
+    // The workload x protocol grid, workload-major. An empty protocol
+    // axis is one config-default point per workload, so a run without
+    // --protocol (or with a single value) is the historical driver.
+    std::vector<PointSpec> points;
+    for (std::size_t wi = 0; wi < o.workloads.size(); ++wi) {
+        if (o.protocols.empty()) {
+            points.push_back({o.workloads[wi], entries[wi], o.cfg});
+        } else {
+            for (const coherence::Protocol p : o.protocols) {
+                system::CcsvmConfig cfg = o.cfg;
+                cfg.protocol = p;
+                points.push_back({o.workloads[wi], entries[wi], cfg});
+            }
+        }
+    }
+
+    // Simulate — on this thread for a single point (byte-identical to
+    // the pre-sweep driver), through the sweep runner for a grid. The
+    // runner returns results in point order whatever --jobs is, so
+    // every byte below is independent of worker count.
+    std::vector<PointOutput> results;
+    if (points.size() == 1) {
+        results.push_back(runPoint(o, points[0]));
+    } else {
+        std::vector<std::function<PointOutput()>> tasks;
+        for (const PointSpec &spec : points)
+            tasks.emplace_back(
+                [&o, &spec]() { return runPoint(o, spec); });
+        const sim::SweepRunner runner(o.jobs);
+        results = runner.map<PointOutput>(tasks);
+    }
+
+    bool all_correct = true;
+    for (const PointOutput &res : results) {
+        std::fputs(res.summary.c_str(), stdout);
+        if (o.textStats)
+            std::cout << res.statsText;
+        all_correct = all_correct && res.correct;
+    }
+
+    if (!o.jsonPath.empty()) {
+        std::ofstream os(o.jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "ccsvm: cannot open %s\n",
+                         o.jsonPath.c_str());
+            return 1;
+        }
+        if (results.size() == 1) {
+            os << results[0].json << "\n";
+        } else {
+            // Sweep schema: the per-point documents, unchanged, under
+            // "points". Deliberately no worker-count metadata: the
+            // file must be byte-identical for every --jobs value.
+            os << "{\n  \"sweep\": {\"points\": "
+               << results.size() << "},\n  \"points\": [\n";
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                os << results[i].json
+                   << (i + 1 < results.size() ? ",\n" : "\n");
+            }
+            os << "]\n}\n";
+        }
+        if (!os.flush()) {
+            std::fprintf(stderr, "ccsvm: short write to %s\n",
+                         o.jsonPath.c_str());
+            return 1;
+        }
+    }
+
+    return all_correct ? 0 : 1;
 }
