@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Ablation A8: the partitioned event engine as a host-performance
+ * experiment.
+ *
+ * Two questions, both about the simulator itself rather than the
+ * simulated machine:
+ *
+ *  1. How does one simulation's host wall-clock scale with
+ *     --sim-threads? A matmul run (CPU cluster + MTTOP cluster +
+ *     directory banks all active) is repeated at 1/2/4 engine
+ *     threads; simulated results are identical by construction, so
+ *     wall ms, events/s, and the events-per-window grain are the
+ *     whole story. Speedup needs real cores: on a single-CPU host
+ *     the extra threads only add window hand-off overhead, which
+ *     this bench then quantifies.
+ *
+ *  2. What does the raw (unpartitioned) EventQueue sustain on
+ *     schedule+run churn? The second burst re-schedules into a heap
+ *     whose high-water reserve is already warm, so the delta between
+ *     burst 1 and burst 2 isolates the allocation cost the reserve
+ *     removes from the hot path.
+ *
+ * Unlike the figure benches this binary measures host time, so its
+ * own simulation sweep must be sequential: a custom main pins
+ * CCSVM_BENCH_JOBS=1 before the sweep runs. Numbers from a
+ * run_figures.sh session (which runs other benches concurrently) are
+ * indicative only; run the binary alone for clean ones.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+
+#include "sim/parteventq.hh"
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::bench
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/** One full matmul simulation on an engine with @p threads workers;
+ * wall time measured around the run only (machine build excluded). */
+SweepOutcome
+engineMatmul(int threads, unsigned n)
+{
+    system::CcsvmConfig cfg;
+    cfg.simThreads = threads;
+    system::CcsvmMachine m(cfg);
+    const auto t0 = Clock::now();
+    SweepOutcome o;
+    o.run = workloads::matmulXthreads(m, n);
+    const double wall_ms = msSince(t0);
+    const auto events =
+        static_cast<double>(m.engine().eventsExecuted());
+    const auto windows = static_cast<double>(m.engine().windows());
+    o.values["wall_ms"] = wall_ms;
+    o.values["Mev_per_s"] = events / wall_ms / 1e3;
+    o.values["ev_per_window"] = windows ? events / windows : 0.0;
+    return o;
+}
+
+/** Raw EventQueue schedule+run churn: @p burst events per burst. The
+ * queue outlives both bursts, so burst 2 schedules into the
+ * high-water reserve that burst 1 grew. */
+SweepOutcome
+queueChurn(std::size_t burst)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    double burst_ms[2] = {0, 0};
+    for (int b = 0; b < 2; ++b) {
+        const Tick base = eq.now();
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < burst; ++i)
+            eq.schedule(base + 1 + static_cast<Tick>(i % 97),
+                        [&sink] { ++sink; });
+        eq.run();
+        burst_ms[b] = msSince(t0);
+    }
+    ccsvm_assert(sink == 2 * burst, "queue churn lost events");
+    SweepOutcome o;
+    o.run.ticks = eq.now();
+    o.run.correct = true;
+    const auto ev = static_cast<double>(burst);
+    o.values["cold_Mev_per_s"] = ev / burst_ms[0] / 1e3;
+    o.values["warm_Mev_per_s"] = ev / burst_ms[1] / 1e3;
+    return o;
+}
+
+void
+BM_EngineThreads(benchmark::State &state)
+{
+    const auto threads = static_cast<int>(state.range(0));
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(1)));
+    const auto &base = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(2)));
+    for (auto _ : state) {
+    }
+    setCounters(state, out.run);
+    const double wall = out.values.at("wall_ms");
+    const double speedup = wall > 0
+                               ? base.values.at("wall_ms") / wall
+                               : 0.0;
+    state.counters["wall_ms"] = wall;
+    state.counters["Mev_per_s"] = out.values.at("Mev_per_s");
+    state.counters["speedup_vs_1t"] = speedup;
+    const auto x = static_cast<std::uint64_t>(threads);
+    FigureTable::instance().record(x, "wall_ms", wall);
+    FigureTable::instance().record(x, "Mev_per_s",
+                                   out.values.at("Mev_per_s"));
+    FigureTable::instance().record(x, "ev_per_window",
+                                   out.values.at("ev_per_window"));
+    FigureTable::instance().record(x, "speedup_vs_1t", speedup);
+}
+
+void
+BM_QueueChurn(benchmark::State &state)
+{
+    const auto &out = BenchSweep::instance().result(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+    }
+    state.counters["cold_Mev_per_s"] =
+        out.values.at("cold_Mev_per_s");
+    state.counters["warm_Mev_per_s"] =
+        out.values.at("warm_Mev_per_s");
+    // Row 0: the unpartitioned queue baseline (no engine threads).
+    FigureTable::instance().record(0, "Mev_per_s",
+                                   out.values.at("warm_Mev_per_s"));
+}
+
+void
+registerAll()
+{
+    const unsigned n = largeSweeps() ? 96 : 48;
+    // The 1-thread job doubles as every case's speedup baseline.
+    std::vector<std::int64_t> job;
+    for (const int threads : {1, 2, 4})
+        job.push_back(static_cast<std::int64_t>(
+            BenchSweep::instance().add([threads, n] {
+                return engineMatmul(threads, n);
+            })));
+    for (std::size_t i = 0; i < job.size(); ++i) {
+        const std::int64_t threads[] = {1, 2, 4};
+        benchmark::RegisterBenchmark("abl_engine/threads",
+                                     BM_EngineThreads)
+            ->Args({threads[i], job[i], job[0]})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    const std::size_t burst = largeSweeps() ? 4u << 20 : 1u << 20;
+    const auto churn = static_cast<std::int64_t>(
+        BenchSweep::instance().add([burst] {
+            return queueChurn(burst);
+        }));
+    benchmark::RegisterBenchmark("abl_engine/queue_churn",
+                                 BM_QueueChurn)
+        ->Args({churn})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+const int registered = (registerAll(), 0);
+
+} // namespace
+} // namespace ccsvm::bench
+
+// Custom main (see the file comment): host-time measurements need
+// the simulation sweep itself to stay sequential, whatever
+// CCSVM_BENCH_JOBS the caller exported.
+int
+main(int argc, char **argv)
+{
+    ::setenv("CCSVM_BENCH_JOBS", "1", 1);
+    ::ccsvm::setQuiet(true);
+    ::benchmark::Initialize(&argc, argv);
+    ::ccsvm::bench::BenchSweep::instance().runAll();
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::ccsvm::bench::FigureTable::instance().print(
+        "Ablation A8: engine scaling (x=sim threads; row 0 = raw "
+        "unpartitioned queue)",
+        "threads");
+    ::ccsvm::bench::FigureTable::instance().writeJsonFromEnv(
+        "Ablation A8: engine scaling (x=sim threads; row 0 = raw "
+        "unpartitioned queue)",
+        "threads");
+    return 0;
+}

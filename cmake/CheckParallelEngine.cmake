@@ -1,0 +1,106 @@
+# Test script: the partitioned event engine's determinism contract at
+# the CLI boundary. One simulation advanced by conservative time
+# windows must emit byte-identical JSON whatever --sim-threads is:
+#
+#   - --sim-threads 1 (windows run inline on the calling thread) vs
+#     --sim-threads 4 (worker pool) across a
+#     {matmul, synth:false} x {msi, moesi} grid. The partition/window
+#     schedule is the same at any thread count and cross-partition
+#     mailboxes commit in sorted (when, priority, srcPart, srcSeq)
+#     order, so every tick count and every stat must match byte for
+#     byte; any host-interleaving leak shows up here as a diff. Only
+#     the echoed "sim_threads" field may differ, and is normalized
+#     away before comparing.
+#   - Every point must pass its workload's validation.
+#   - CCSVM_SIM_THREADS=4 in the environment with no --sim-threads
+#     flag must behave like the flag (same normalized bytes), since
+#     that is how the test suites opt whole binaries into the
+#     threaded engine.
+#
+# Usage: cmake -DCCSVM_DRIVER=<path> -DCCSVM_OUT_DIR=<dir>
+#              -P CheckParallelEngine.cmake
+
+if(NOT CCSVM_DRIVER OR NOT CCSVM_OUT_DIR)
+  message(FATAL_ERROR "CCSVM_DRIVER and CCSVM_OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${CCSVM_OUT_DIR})
+
+function(run_point json wl proto threads)
+  execute_process(
+    COMMAND ${CCSVM_DRIVER} --workload ${wl} --protocol ${proto}
+            --n 16 --iters 16 --sim-threads ${threads} --json ${json}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${wl}/${proto} --sim-threads ${threads} exited ${rc}\n"
+            "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# Drop the one legitimately thread-count-dependent field before
+# comparing.
+function(normalized var json)
+  file(READ ${json} doc)
+  string(REGEX REPLACE "\"sim_threads\": [0-9]+"
+         "\"sim_threads\": 0" doc "${doc}")
+  set(${var} "${doc}" PARENT_SCOPE)
+endfunction()
+
+foreach(wl matmul synth:false)
+  foreach(proto msi moesi)
+    string(REPLACE ":" "_" tag "${wl}_${proto}")
+    set(seq ${CCSVM_OUT_DIR}/pengine_${tag}_t1.json)
+    set(par ${CCSVM_OUT_DIR}/pengine_${tag}_t4.json)
+    run_point(${seq} ${wl} ${proto} 1)
+    run_point(${par} ${wl} ${proto} 4)
+
+    normalized(seq_doc ${seq})
+    normalized(par_doc ${par})
+    if(NOT seq_doc STREQUAL par_doc)
+      message(FATAL_ERROR "${wl}/${proto}: JSON differs between "
+              "--sim-threads 1 and --sim-threads 4:\n"
+              "--- threads 1:\n${seq_doc}\n"
+              "--- threads 4:\n${par_doc}")
+    endif()
+
+    string(JSON correct GET "${seq_doc}" sim correct)
+    if(NOT correct STREQUAL "ON" AND NOT correct STREQUAL "true")
+      message(FATAL_ERROR "${wl}/${proto}: failed validation under "
+              "the partitioned engine")
+    endif()
+    string(JSON threads GET "${par_doc}" machine sim_threads)
+  endforeach()
+endforeach()
+
+# --- the CCSVM_SIM_THREADS environment knob -------------------------
+set(env_json ${CCSVM_OUT_DIR}/pengine_env_t4.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env CCSVM_SIM_THREADS=4
+          ${CCSVM_DRIVER} --workload matmul --protocol msi
+          --n 16 --iters 16 --json ${env_json}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "CCSVM_SIM_THREADS=4 run exited ${rc}\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+normalized(env_doc ${env_json})
+normalized(flag_doc ${CCSVM_OUT_DIR}/pengine_matmul_msi_t4.json)
+if(NOT env_doc STREQUAL flag_doc)
+  message(FATAL_ERROR "CCSVM_SIM_THREADS=4 differs from "
+          "--sim-threads 4:\n--- env:\n${env_doc}\n"
+          "--- flag:\n${flag_doc}")
+endif()
+file(READ ${env_json} env_raw)
+string(REGEX MATCH "\"sim_threads\": 4" echoed "${env_raw}")
+if(NOT echoed)
+  message(FATAL_ERROR "CCSVM_SIM_THREADS=4 not echoed in the JSON "
+          "machine section:\n${env_raw}")
+endif()
+
+message(STATUS "parallel engine ok: 4 grid points byte-identical "
+               "at --sim-threads 1 vs 4 (+ env knob)")

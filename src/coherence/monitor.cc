@@ -8,6 +8,7 @@ namespace ccsvm::coherence
 void
 SwmrMonitor::onSetState(L1Id id, Addr block_addr, CohState s)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto &info = blocks_[block_addr];
 
     // Remove any previous record for this L1 on this block.
@@ -43,7 +44,7 @@ SwmrMonitor::onSetState(L1Id id, Addr block_addr, CohState s)
         info.writer = id;
         break;
     }
-    check(block_addr);
+    checkLocked(block_addr);
 }
 
 void
@@ -55,6 +56,7 @@ SwmrMonitor::onDrop(L1Id id, Addr block_addr)
 unsigned
 SwmrMonitor::holders(Addr block_addr) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = blocks_.find(block_addr);
     if (it == blocks_.end())
         return 0;
@@ -65,6 +67,13 @@ SwmrMonitor::holders(Addr block_addr) const
 
 void
 SwmrMonitor::check(Addr block_addr) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    checkLocked(block_addr);
+}
+
+void
+SwmrMonitor::checkLocked(Addr block_addr) const
 {
     auto it = blocks_.find(block_addr);
     if (it == blocks_.end())

@@ -12,6 +12,7 @@
 #ifndef CCSVM_COHERENCE_MONITOR_HH
 #define CCSVM_COHERENCE_MONITOR_HH
 
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -46,6 +47,18 @@ class SwmrMonitor
         L1Id owner = noL1;      ///< O holder (also in readers)
     };
 
+    void checkLocked(Addr block_addr) const;
+
+    /**
+     * L1s in different partitions update the monitor concurrently
+     * within a conservative window. That is safe to serialize with a
+     * lock (not order-sensitive): a writer in one partition and a
+     * reader in another can only both hold permission if the
+     * protocol itself broke SWMR, because any permission transfer
+     * between partitions takes at least one NoC hop and therefore
+     * lands in a later window.
+     */
+    mutable std::mutex mu_;
     std::unordered_map<Addr, BlockInfo> blocks_;
 };
 

@@ -21,7 +21,7 @@ CpuCore::CpuCore(sim::EventQueue &eq, sim::StatRegistry &stats,
       faults_(stats.counter(name + ".pageFaults",
                             "page faults taken"))
 {
-    kernel.registerCpuTlb(&tlb_);
+    kernel.registerCpuTlb(&tlb_, &eq);
 }
 
 void

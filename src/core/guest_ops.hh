@@ -80,8 +80,10 @@ class MifdIface
     virtual void relayPageFault(runtime::Process &proc, vm::VAddr va,
                                 std::function<void()> retry) = 0;
 
-    /** MTTOP thread contexts became free; pending chunks may start. */
-    virtual void notifyContextsFreed() = 0;
+    /** One thread context on MTTOP core @p port became free; pending
+     * chunks may start. The port index lets the device maintain its
+     * own free-context mirror instead of polling the cores. */
+    virtual void notifyContextsFreed(unsigned port) = 0;
 };
 
 /** Kinds of guest operations. */

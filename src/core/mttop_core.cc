@@ -1,5 +1,7 @@
 #include "core/mttop_core.hh"
 
+#include "sim/parteventq.hh"
+
 namespace ccsvm::core
 {
 
@@ -25,7 +27,7 @@ MttopCore::MttopCore(sim::EventQueue &eq, sim::StatRegistry &stats,
     slots_.reserve(cfg.numContexts);
     for (unsigned i = 0; i < cfg.numContexts; ++i)
         slots_.push_back(std::make_unique<Slot>());
-    kernel.registerMttopTlb(&tlb_);
+    kernel.registerMttopTlb(&tlb_, &eq);
 }
 
 void
@@ -79,10 +81,20 @@ MttopCore::onThreadDone(ThreadContext &tc)
         ++freeSlots_;
         auto state = std::move(slot->state);
         slot->desc.reset();
-        if (state && --state->remaining == 0 && state->onComplete)
-            state->onComplete();
+        if (state && --state->remaining == 0 && state->onComplete) {
+            // Task-completion bookkeeping belongs to the launching
+            // side; relay it to its partition when one is wired.
+            if (doneq_ && sim::crossPartition(*doneq_)) {
+                sim::postToPartition(*doneq_,
+                                     [cb = state->onComplete] {
+                                         cb();
+                                     });
+            } else {
+                state->onComplete();
+            }
+        }
         if (mifd_)
-            mifd_->notifyContextsFreed();
+            mifd_->notifyContextsFreed(mifdPort_);
         return;
     }
     ccsvm_panic("onThreadDone for unknown context");

@@ -52,8 +52,23 @@ class MttopCore : public CoreModel
               coherence::L1Controller &l1, vm::Walker &walker,
               vm::Kernel &kernel);
 
-    /** Wire up the MIFD for fault relay and context accounting. */
-    void connectMifd(MifdIface *mifd) { mifd_ = mifd; }
+    /** Wire up the MIFD for fault relay and context accounting;
+     * @p port is this core's index at the device. */
+    void
+    connectMifd(MifdIface *mifd, unsigned port = 0)
+    {
+        mifd_ = mifd;
+        mifdPort_ = port;
+    }
+
+    /**
+     * Queue whose partition owns task-completion callbacks
+     * (TaskState::onComplete). Launch-side bookkeeping lives with the
+     * launching CPU cores, so under a PartEngine completions are
+     * relayed there instead of running in the MTTOP partition. Null
+     * (the default) runs them inline.
+     */
+    void setCompletionQueue(sim::EventQueue *q) { doneq_ = q; }
 
     unsigned freeContexts() const { return freeSlots_; }
     unsigned totalContexts() const { return cfg_.numContexts; }
@@ -93,6 +108,8 @@ class MttopCore : public CoreModel
     vm::Walker *walker_;
     vm::Tlb tlb_;
     MifdIface *mifd_ = nullptr;
+    unsigned mifdPort_ = 0;
+    sim::EventQueue *doneq_ = nullptr;
 
     std::vector<std::unique_ptr<Slot>> slots_;
     unsigned freeSlots_;

@@ -22,23 +22,34 @@ Mifd::connectMttops(std::vector<MttopPort> cores)
 {
     mttops_ = std::move(cores);
     ccsvm_assert(!mttops_.empty(), "MIFD needs MTTOP cores");
-    inFlight_.assign(mttops_.size(), 0);
-    for (auto &port : mttops_)
-        port.core->connectMifd(this);
+    ctxFree_.reserve(mttops_.size());
+    ctxFree_.clear();
+    for (std::size_t i = 0; i < mttops_.size(); ++i) {
+        ctxFree_.push_back(mttops_[i].core->freeContexts());
+        mttops_[i].core->connectMifd(this,
+                                     static_cast<unsigned>(i));
+    }
 }
 
 unsigned
 Mifd::totalFreeContexts() const
 {
     unsigned total = 0;
-    for (const auto &port : mttops_)
-        total += port.core->freeContexts();
+    for (unsigned free : ctxFree_)
+        total += free;
     return total;
 }
 
 void
 Mifd::submitTask(core::TaskDescriptor desc)
 {
+    if (sim::crossPartition(*eq_)) {
+        sim::postToPartition(*eq_,
+                             [this, desc = std::move(desc)]() mutable {
+                                 submitTask(std::move(desc));
+                             });
+        return;
+    }
     // The device itself serializes descriptor handling.
     const Tick start = std::max(eq_->now(), deviceFree_);
     deviceFree_ = start + cfg_.taskAcceptLatency;
@@ -87,18 +98,16 @@ Mifd::dispatch()
     while (!pending_.empty()) {
         Chunk &c = pending_.front();
 
-        // Round-robin over cores until one has room for the chunk,
-        // discounting contexts already promised to in-flight chunks.
+        // Round-robin over cores until the device's mirror shows one
+        // with room for the chunk. The mirror is decremented here (at
+        // the dispatch decision) and refilled by notifyContextsFreed,
+        // so dispatched-but-unassigned chunks are never double-counted.
         std::size_t tried = 0;
         std::size_t chosen = mttops_.size();
         while (tried < mttops_.size()) {
             const std::size_t idx =
                 (rrNext_ + tried) % mttops_.size();
-            const unsigned free =
-                mttops_[idx].core->freeContexts();
-            ccsvm_assert(free >= inFlight_[idx],
-                         "in-flight reservation accounting broken");
-            if (free - inFlight_[idx] >= c.count) {
+            if (ctxFree_[idx] >= c.count) {
                 chosen = idx;
                 break;
             }
@@ -111,35 +120,49 @@ Mifd::dispatch()
         Chunk chunk = std::move(pending_.front());
         pending_.pop_front();
         ++chunks_;
-        inFlight_[chosen] += chunk.count;
+        ctxFree_[chosen] -= chunk.count;
 
         // Device occupancy per dispatch, then the descriptor write
-        // travels to the MTTOP core over the interconnect.
+        // travels to the MTTOP core over the interconnect. The
+        // delivery closure runs in the MTTOP core's partition and
+        // touches only the core, never the device.
         const Tick start = std::max(eq_->now(), deviceFree_);
         deviceFree_ = start + cfg_.chunkDispatchLatency;
         core::MttopCore *core = mttops_[chosen].core;
         const noc::NodeId dst = mttops_[chosen].node;
         eq_->schedule(
             deviceFree_,
-            [this, core, dst, chosen,
-             chunk = std::move(chunk)]() mutable {
-                net_->send(
-                    node_, dst, noc::VNet::Request, 32,
-                    [this, core, chosen,
-                     chunk = std::move(chunk)]() mutable {
-                        // Release the reservation in the same event
-                        // that consumes the contexts.
-                        inFlight_[chosen] -= chunk.count;
-                        core->assignChunk(chunk.desc, chunk.first,
-                                          chunk.count, chunk.state);
-                    });
+            [this, core, dst, chunk = std::move(chunk)]() mutable {
+                net_->send(node_, dst, noc::VNet::Request, 32,
+                           [core, chunk = std::move(chunk)]() mutable {
+                               core->assignChunk(chunk.desc,
+                                                 chunk.first,
+                                                 chunk.count,
+                                                 chunk.state);
+                           });
             });
     }
 }
 
 void
-Mifd::notifyContextsFreed()
+Mifd::notifyContextsFreed(unsigned port)
 {
+    if (sim::crossPartition(*eq_)) {
+        sim::postToPartition(*eq_,
+                             [this, port] { freedLocal(port); });
+        return;
+    }
+    freedLocal(port);
+}
+
+void
+Mifd::freedLocal(unsigned port)
+{
+    ccsvm_assert(port < ctxFree_.size(), "freed on unknown port %u",
+                 port);
+    ++ctxFree_[port];
+    ccsvm_assert(ctxFree_[port] <= mttops_[port].core->totalContexts(),
+                 "context mirror overflowed on port %u", port);
     if (pending_.empty() || dispatchScheduled_)
         return;
     // Batch re-dispatch onto a fresh event (contexts free during
@@ -155,6 +178,21 @@ void
 Mifd::relayPageFault(runtime::Process &proc, vm::VAddr va,
                      std::function<void()> retry)
 {
+    if (sim::crossPartition(*eq_)) {
+        // Hop to the device's partition; the faulting core retries in
+        // its own partition once the kernel has serviced the fault.
+        sim::EventQueue *src = sim::activeQueue();
+        sim::postToPartition(
+            *eq_, [this, &proc, va, src,
+                   cb = std::move(retry)]() mutable {
+                relayPageFault(proc, va,
+                               [src, cb = std::move(cb)]() mutable {
+                                   sim::postToPartition(
+                                       *src, std::move(cb));
+                               });
+            });
+        return;
+    }
     ++faultRelays_;
     // Interrupt a CPU core with {cause=page fault, CR3}; the CPU-side
     // handler cost is the kernel model's fault latency.

@@ -25,6 +25,7 @@
 #include "core/mttop_core.hh"
 #include "noc/network.hh"
 #include "sim/eventq.hh"
+#include "sim/parteventq.hh"
 #include "sim/stats.hh"
 #include "vm/kernel.hh"
 
@@ -67,11 +68,14 @@ class Mifd : public core::MifdIface
     std::uint64_t errorRegister() const { return errorReg_; }
     void clearErrorRegister() { errorReg_ = 0; }
 
-    // MifdIface.
+    // MifdIface. All three entry points may be called from another
+    // partition (CPU syscall, MTTOP fault/completion); each routes
+    // itself onto the device's own queue so the pending queue, the
+    // context mirror, and deviceFree_ are touched only there.
     void submitTask(core::TaskDescriptor desc) override;
     void relayPageFault(runtime::Process &proc, vm::VAddr va,
                         std::function<void()> retry) override;
-    void notifyContextsFreed() override;
+    void notifyContextsFreed(unsigned port) override;
 
   private:
     struct Chunk
@@ -84,6 +88,7 @@ class Mifd : public core::MifdIface
 
     void acceptTask(core::TaskDescriptor desc);
     void dispatch();
+    void freedLocal(unsigned port);
     unsigned totalFreeContexts() const;
 
     sim::EventQueue *eq_;
@@ -94,10 +99,12 @@ class Mifd : public core::MifdIface
     std::vector<MttopPort> mttops_;
 
     std::deque<Chunk> pending_;
-    /** Contexts promised to dispatched-but-not-yet-assigned chunks,
-     * per core; without this the dispatch loop would oversubscribe a
-     * core whose freeContexts() has not yet dropped. */
-    std::vector<unsigned> inFlight_;
+    /** Device-side mirror of free contexts per core: decremented when
+     * a chunk is dispatched, incremented when a core reports a freed
+     * context. Replaces live freeContexts() polls (which would race
+     * across partitions) and subsumes the old in-flight reservation:
+     * the mirror already discounts dispatched-but-unassigned chunks. */
+    std::vector<unsigned> ctxFree_;
     std::size_t rrNext_ = 0;
     Tick deviceFree_ = 0;
     std::uint64_t errorReg_ = 0;

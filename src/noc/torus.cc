@@ -1,5 +1,6 @@
 #include "noc/torus.hh"
 
+#include "base/intmath.hh"
 #include "base/logging.hh"
 
 namespace ccsvm::noc
@@ -39,6 +40,31 @@ ringDelta(int a, int b, int n)
 }
 
 } // namespace
+
+void
+TorusNetwork::setNodeQueues(std::vector<sim::EventQueue *> queues)
+{
+    ccsvm_assert(queues.empty() ||
+                     static_cast<int>(queues.size()) == numNodes(),
+                 "setNodeQueues: need one queue per node");
+    nodeQ_ = std::move(queues);
+}
+
+sim::EventQueue *
+TorusNetwork::queueAt(NodeId n) const
+{
+    return nodeQ_.empty() ? eq_ : nodeQ_[n];
+}
+
+Tick
+TorusNetwork::edgeAt(const sim::EventQueue *q, Cycles cycles) const
+{
+    // Same alignment rule as ClockDomain::clockEdge, but against the
+    // partition queue that is actually executing the hop.
+    const Tick aligned =
+        divCeil(q->now(), cfg_.clockPeriod) * cfg_.clockPeriod;
+    return aligned + cycles * cfg_.clockPeriod;
+}
 
 NodeId
 TorusNetwork::nextHop(NodeId at, NodeId dst) const
@@ -111,22 +137,31 @@ TorusNetwork::send(NodeId src, NodeId dst, VNet vnet, unsigned bytes,
     ++packets_;
     bytes_ += bytes;
 
+    // Injection runs in the source node's partition: every component
+    // sends from its own node. The per-hop events that follow run in
+    // the partition of the router they traverse.
+    sim::EventQueue *q = queueAt(src);
+    ccsvm_assert(nodeQ_.empty() || sim::activeQueue() == q,
+                 "torus send from outside node %d's partition", src);
+
     Packet pkt{dst, bytes, vnet, std::move(deliver)};
-    const Tick start = eq_->now();
+    const Tick start = q->now();
     if (src == dst) {
         // Local delivery still pays one router traversal.
-        eq_->schedule(clock_.clockEdge(cfg_.hopLatency),
-                      [this, pkt = std::move(pkt), start]() mutable {
-                          latency_.record(
-                              static_cast<double>(eq_->now() - start));
-                          pkt.deliver();
-                      },
-                      sim::prioNetwork);
+        q->schedule(edgeAt(q, cfg_.hopLatency),
+                    [this, pkt = std::move(pkt), start,
+                     src]() mutable {
+                        latency_.record(static_cast<double>(
+                            nowAt(src) - start));
+                        pkt.deliver();
+                    },
+                    sim::prioNetwork);
         return;
     }
     // Tag the packet with its injection time via a wrapper closure.
-    auto done = [this, inner = std::move(pkt.deliver), start]() {
-        latency_.record(static_cast<double>(eq_->now() - start));
+    // The record runs at delivery, in the destination's partition.
+    auto done = [this, inner = std::move(pkt.deliver), start, dst]() {
+        latency_.record(static_cast<double>(nowAt(dst) - start));
         inner();
     };
     pkt.deliver = std::move(done);
@@ -143,18 +178,27 @@ TorusNetwork::forward(Packet pkt, NodeId at)
     const NodeId next = nextHop(at, pkt.dst);
     const int link = linkIndex(at, next);
 
+    sim::EventQueue *q = queueAt(at);
     const Tick ser = serializationTicks(pkt.bytes);
-    const Tick depart = std::max(clock_.clockEdge(), linkFree_[link]);
+    const Tick depart = std::max(edgeAt(q), linkFree_[link]);
     linkFree_[link] = depart + ser;
     const Tick arrive =
         depart + ser + clock_.cyclesToTicks(cfg_.hopLatency);
     ++hops_;
 
-    eq_->schedule(arrive,
-                  [this, pkt = std::move(pkt), next]() mutable {
-                      forward(std::move(pkt), next);
-                  },
-                  sim::prioNetwork);
+    auto hop = [this, pkt = std::move(pkt), next]() mutable {
+        forward(std::move(pkt), next);
+    };
+    sim::EventQueue *nq = queueAt(next);
+    if (nq == q) {
+        q->schedule(arrive, std::move(hop), sim::prioNetwork);
+    } else {
+        // arrive >= now + serialization (>= 1) + hopLatency ticks, so
+        // it always clears the engine's conservative horizon (the
+        // lookahead is exactly the hop-latency floor).
+        q->engine()->post(*nq, arrive, std::move(hop),
+                          sim::prioNetwork);
+    }
 }
 
 } // namespace ccsvm::noc

@@ -20,6 +20,7 @@
 #include "noc/network.hh"
 #include "sim/clock.hh"
 #include "sim/eventq.hh"
+#include "sim/parteventq.hh"
 #include "sim/stats.hh"
 
 namespace ccsvm::noc
@@ -48,6 +49,17 @@ class TorusNetwork : public Network
     int numNodes() const override { return cfg_.width * cfg_.height; }
 
     /**
+     * Partition mode: give every node its owning partition queue.
+     * A packet's per-hop events then run in the partition of the
+     * router they traverse (cross-partition hops go through
+     * PartEngine::post, which the hop-latency floor makes legal),
+     * and the final delivery runs in the destination node's
+     * partition. An empty vector (the default) keeps the legacy
+     * single-queue mode.
+     */
+    void setNodeQueues(std::vector<sim::EventQueue *> queues);
+
+    /**
      * Next hop from @p at toward @p dst under XY dimension-order
      * routing with shortest wrap. Exposed for unit tests.
      */
@@ -73,10 +85,20 @@ class TorusNetwork : public Network
 
     Tick serializationTicks(unsigned bytes) const;
 
+    /** Queue whose partition owns node @p n (eq_ in legacy mode). */
+    sim::EventQueue *queueAt(NodeId n) const;
+    /** Current time at node @p n's queue. */
+    Tick nowAt(NodeId n) const { return queueAt(n)->now(); }
+    /** Next NoC clock edge (+ @p cycles) as seen from @p q. */
+    Tick edgeAt(const sim::EventQueue *q, Cycles cycles = 0) const;
+
     sim::EventQueue *eq_;
     TorusConfig cfg_;
     sim::ClockDomain clock_;
-    /** busy-until tick per directional link (4 per node: +X -X +Y -Y) */
+    /** Per-node partition queues; empty = legacy single queue. */
+    std::vector<sim::EventQueue *> nodeQ_;
+    /** busy-until tick per directional link (4 per node: +X -X +Y -Y).
+     * Link at*4+dir is only touched by node @p at's partition. */
     std::vector<Tick> linkFree_;
 
     sim::Counter &packets_;

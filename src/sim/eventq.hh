@@ -2,9 +2,13 @@
  * @file
  * The discrete-event simulation kernel.
  *
- * A single EventQueue orders all simulated work for one machine. Ticks
- * are picoseconds; events at equal ticks are ordered by (priority,
- * insertion sequence) so simulations are fully deterministic.
+ * An EventQueue orders the simulated work of one partition (or, for
+ * standalone components and the APU machine, of a whole machine).
+ * Ticks are picoseconds; events at equal ticks are ordered by
+ * (priority, insertion sequence) so simulations are fully
+ * deterministic. A queue is single-threaded; concurrency comes from
+ * sim::PartEngine running several queues in conservative windows
+ * (see parteventq.hh).
  */
 
 #ifndef CCSVM_SIM_EVENTQ_HH
@@ -14,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -21,6 +26,8 @@
 
 namespace ccsvm::sim
 {
+
+class PartEngine;
 
 /** Default event priorities; lower values run first within a tick. */
 enum : int
@@ -34,8 +41,8 @@ enum : int
 /**
  * Deterministic discrete-event queue.
  *
- * Events are arbitrary callables. The queue is not thread safe; a
- * machine is simulated on a single host thread.
+ * Events are arbitrary callables. The queue itself is not thread
+ * safe: only one host thread may schedule into or run it at a time.
  */
 class EventQueue
 {
@@ -53,25 +60,51 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
 
+    /** Largest number of pending events ever held. */
+    std::size_t highWaterMark() const { return highWater_; }
+
     /**
-     * Schedule @p cb to run at absolute time @p when.
-     * @pre when >= now()
+     * Pre-size the heap: reserve space for @p hint entries, or for
+     * the observed high-water mark if that is larger. Benches and
+     * the partition engine call this so steady-state scheduling
+     * never reallocates.
      */
     void
-    schedule(Tick when, Callback cb, int priority = prioDefault)
+    reserve(std::size_t hint = 0)
+    {
+        heap_.reserve(std::max(hint, highWater_));
+    }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * Takes the callable by forwarding reference: the std::function
+     * is constructed directly in the heap entry, skipping one
+     * std::function move per schedule on the hot path.
+     * @pre when >= now()
+     */
+    template <typename F>
+    void
+    schedule(Tick when, F &&cb, int priority = prioDefault)
     {
         ccsvm_assert(when >= now_,
                      "scheduling in the past: when=%llu now=%llu",
                      (unsigned long long)when, (unsigned long long)now_);
-        heap_.push_back(Entry{when, priority, seq_++, std::move(cb)});
+        if (heap_.size() == heap_.capacity())
+            heap_.reserve(std::max<std::size_t>(
+                64, std::max(highWater_, 2 * heap_.size())));
+        heap_.push_back(
+            Entry{when, priority, seq_++, std::forward<F>(cb)});
         std::push_heap(heap_.begin(), heap_.end(), Entry::later);
+        highWater_ = std::max(highWater_, heap_.size());
     }
 
     /** Schedule @p cb to run @p delta ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delta, Callback cb, int priority = prioDefault)
+    scheduleIn(Tick delta, F &&cb, int priority = prioDefault)
     {
-        schedule(now_ + delta, std::move(cb), priority);
+        schedule(now_ + delta, std::forward<F>(cb), priority);
     }
 
     /**
@@ -129,7 +162,32 @@ class EventQueue
         return false;
     }
 
+    /**
+     * Run every event strictly before @p end (one conservative time
+     * window). Events an event schedules inside the window run too.
+     */
+    void
+    runWindow(Tick end)
+    {
+        while (!heap_.empty() && heap_.front().when < end)
+            runOne();
+    }
+
+    /** Timestamp of the earliest pending event, or maxTick. */
+    Tick
+    peekWhen() const
+    {
+        return heap_.empty() ? maxTick : heap_.front().when;
+    }
+
+    /** Partition engine this queue belongs to (null standalone). */
+    PartEngine *engine() const { return engine_; }
+    /** Partition index within the engine (0 standalone). */
+    int partition() const { return part_; }
+
   private:
+    friend class PartEngine;
+
     struct Entry
     {
         Tick when;
@@ -156,6 +214,12 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t highWater_ = 0;
+
+    /** Set by PartEngine::adopt; stamps cross-partition sends. */
+    PartEngine *engine_ = nullptr;
+    int part_ = 0;
+    std::uint64_t crossSeq_ = 0;
 };
 
 } // namespace ccsvm::sim

@@ -12,6 +12,13 @@ namespace ccsvm::sim
 {
 
 unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
 defaultSweepJobs()
 {
     if (const char *env = std::getenv("CCSVM_JOBS")) {
@@ -22,8 +29,7 @@ defaultSweepJobs()
         ccsvm_warn("CCSVM_JOBS='%s' is not a positive integer; "
                    "using hardware concurrency", env);
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return hardwareJobs();
 }
 
 SweepRunner::SweepRunner(unsigned jobs)

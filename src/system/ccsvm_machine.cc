@@ -1,15 +1,44 @@
 #include "system/ccsvm_machine.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "base/logging.hh"
+#include "sim/sweep.hh"
 
 namespace ccsvm::system
 {
 
+int
+resolveSimThreads(int requested)
+{
+    if (requested < 0) {
+        requested = 1;
+        if (const char *env = std::getenv("CCSVM_SIM_THREADS")) {
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (env[0] && end && !*end && v >= 0) {
+                requested = static_cast<int>(v);
+            } else {
+                ccsvm_warn("CCSVM_SIM_THREADS='%s' is not a "
+                           "non-negative integer; running serial",
+                           env);
+            }
+        }
+    }
+    if (requested == 0)
+        requested = static_cast<int>(sim::hardwareJobs());
+    return requested;
+}
+
 CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
-    : cfg_(std::move(cfg)), phys_(cfg_.physMemBytes)
+    : cfg_(std::move(cfg)),
+      engine_(partBank0 + cfg_.numL2Banks,
+              static_cast<Tick>(cfg_.noc.hopLatency) *
+                  cfg_.noc.clockPeriod,
+              resolveSimThreads(cfg_.simThreads)),
+      phys_(cfg_.physMemBytes)
 {
     // Bind each cluster's protocol (defaulting to the chip-wide one)
     // to its L1s, and teach the directory banks the cluster split so
@@ -28,7 +57,7 @@ CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     cfg_.l2.mttopProtocol = mttop_p;
     cfg_.l2.firstMttopL1 = cfg_.numCpuCores;
 
-    dram_ = std::make_unique<mem::DramCtrl>(eq_, stats_, "dram",
+    dram_ = std::make_unique<mem::DramCtrl>(sysQ(), stats_, "dram",
                                             cfg_.dram);
 
     // Auto-size the torus to hold all endpoints if the configured grid
@@ -41,14 +70,14 @@ CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
         cfg_.noc.height =
             (endpoints + cfg_.noc.width - 1) / cfg_.noc.width;
     }
-    net_ = std::make_unique<noc::TorusNetwork>(eq_, stats_, "noc",
+    net_ = std::make_unique<noc::TorusNetwork>(sysQ(), stats_, "noc",
                                                cfg_.noc);
 
     if (cfg_.swmrChecks)
         monitor_ = std::make_unique<coherence::SwmrMonitor>();
 
     kernel_ = std::make_unique<vm::Kernel>(
-        eq_, stats_, phys_, cfg_.kernel, cfg_.framePoolBase,
+        sysQ(), stats_, phys_, cfg_.kernel, cfg_.framePoolBase,
         cfg_.physMemBytes - cfg_.framePoolBase);
 
     buildNodes();
@@ -63,22 +92,23 @@ CcsvmMachine::buildNodes()
     const noc::NodeId first_bank_node = num_l1s;
     const noc::NodeId mifd_node = num_l1s + cfg_.numL2Banks;
 
-    // L1 controllers: CPUs first, then MTTOPs; L1Id == node id.
+    // L1 controllers: CPUs first, then MTTOPs; L1Id == node id. Each
+    // lives in its cluster's partition, alongside its core.
     for (int i = 0; i < cfg_.numCpuCores; ++i) {
         l1s_.push_back(std::make_unique<coherence::L1Controller>(
-            eq_, stats_, "cpu" + std::to_string(i) + ".l1",
+            cpuQ(), stats_, "cpu" + std::to_string(i) + ".l1",
             cfg_.cpuL1, i, *net_, i, monitor_.get()));
     }
     for (int j = 0; j < cfg_.numMttopCores; ++j) {
         const int id = cfg_.numCpuCores + j;
         l1s_.push_back(std::make_unique<coherence::L1Controller>(
-            eq_, stats_, "mttop" + std::to_string(j) + ".l1",
+            mttopQ(), stats_, "mttop" + std::to_string(j) + ".l1",
             cfg_.mttopL1, id, *net_, id, monitor_.get()));
     }
 
     for (int b = 0; b < cfg_.numL2Banks; ++b) {
         banks_.push_back(std::make_unique<coherence::Directory>(
-            eq_, stats_, "dir" + std::to_string(b), cfg_.l2, b,
+            bankQ(b), stats_, "dir" + std::to_string(b), cfg_.l2, b,
             cfg_.numL2Banks, *net_, first_bank_node + b, *dram_,
             phys_));
     }
@@ -98,26 +128,32 @@ CcsvmMachine::buildNodes()
         bank->connectL1s(l1refs);
 
     // Per-core walkers (sharing the PTE-lines-in-L2 model) and cores.
+    // The walkers all live in the system partition with the PTE-line
+    // filter and authoritative PhysMem they share; cores cross into
+    // it over the conservative horizon on a TLB miss.
     pteFilter_ = std::make_unique<vm::PteLineFilter>();
     for (int i = 0; i < cfg_.numCpuCores; ++i) {
         walkers_.push_back(std::make_unique<vm::Walker>(
-            eq_, stats_, "cpu" + std::to_string(i) + ".walker",
+            sysQ(), stats_, "cpu" + std::to_string(i) + ".walker",
             cfg_.walker, *dram_, pteFilter_.get()));
         cpuCores_.push_back(std::make_unique<core::CpuCore>(
-            eq_, stats_, "cpu" + std::to_string(i), cfg_.cpu,
+            cpuQ(), stats_, "cpu" + std::to_string(i), cfg_.cpu,
             *l1s_[i], *walkers_.back(), *kernel_, *net_, i));
     }
     for (int j = 0; j < cfg_.numMttopCores; ++j) {
         walkers_.push_back(std::make_unique<vm::Walker>(
-            eq_, stats_, "mttop" + std::to_string(j) + ".walker",
+            sysQ(), stats_, "mttop" + std::to_string(j) + ".walker",
             cfg_.walker, *dram_, pteFilter_.get()));
         mttopCores_.push_back(std::make_unique<core::MttopCore>(
-            eq_, stats_, "mttop" + std::to_string(j), cfg_.mttop,
+            mttopQ(), stats_, "mttop" + std::to_string(j), cfg_.mttop,
             *l1s_[cfg_.numCpuCores + j], *walkers_.back(), *kernel_));
+        // Task completions decrement launch-side bookkeeping owned by
+        // the CPU cluster.
+        mttopCores_.back()->setCompletionQueue(&cpuQ());
     }
 
     // The MIFD.
-    mifd_ = std::make_unique<dev::Mifd>(eq_, stats_, cfg_.mifd,
+    mifd_ = std::make_unique<dev::Mifd>(sysQ(), stats_, cfg_.mifd,
                                         *kernel_, *net_, mifd_node);
     std::vector<dev::MttopPort> mttop_ports;
     for (int j = 0; j < cfg_.numMttopCores; ++j) {
@@ -128,6 +164,21 @@ CcsvmMachine::buildNodes()
     mifd_->connectMttops(std::move(mttop_ports));
     for (auto &cpu : cpuCores_)
         cpu->connectMifd({mifd_.get(), mifd_node});
+
+    // Teach the torus which partition owns each node, so per-hop
+    // events run in the traversed router's partition. Nodes beyond
+    // the endpoints (grid padding) never source traffic; parking them
+    // in the system partition keeps pass-through hops deterministic.
+    std::vector<sim::EventQueue *> node_queues(
+        static_cast<std::size_t>(net_->numNodes()), &sysQ());
+    for (int i = 0; i < cfg_.numCpuCores; ++i)
+        node_queues[i] = &cpuQ();
+    for (int j = 0; j < cfg_.numMttopCores; ++j)
+        node_queues[cfg_.numCpuCores + j] = &mttopQ();
+    for (int b = 0; b < cfg_.numL2Banks; ++b)
+        node_queues[first_bank_node + b] = &bankQ(b);
+    node_queues[mifd_node] = &sysQ();
+    net_->setNodeQueues(std::move(node_queues));
 }
 
 runtime::Process &
@@ -164,12 +215,12 @@ Tick
 CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
                       vm::VAddr args)
 {
-    const Tick start = eq_.now();
+    const Tick start = engine_.now();
     bool done = false;
     spawnCpuThread(0, proc, std::move(fn), args, [&] { done = true; });
-    const bool finished = eq_.runUntil([&] { return done; });
+    const bool finished = engine_.runUntil([&] { return done; });
     ccsvm_assert(finished, "guest main never exited (deadlock?)");
-    const Tick ticks = eq_.now() - start;
+    const Tick ticks = engine_.now() - start;
     // Quiesce before returning: under protocols without an Owned
     // state the newest copy of a line can be in flight between a
     // downgraded owner and the home (the dirty Unblock of the read
@@ -182,11 +233,11 @@ CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
     // (a thread spinning on a condition only main could have set)
     // degrades to a warning instead of hanging the host forever.
     constexpr Tick quiesceLimit = 100 * tickMs;
-    eq_.run(eq_.now() + quiesceLimit);
-    if (!eq_.empty()) {
-        ccsvm_warn("runMain: %zu events still pending after the "
+    engine_.run(engine_.now() + quiesceLimit);
+    if (!engine_.empty()) {
+        ccsvm_warn("runMain: events still pending after the "
                    "post-main quiesce window; functional reads may "
-                   "see stale data", eq_.size());
+                   "see stale data");
     }
     return ticks;
 }
@@ -194,7 +245,13 @@ CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
 void
 CcsvmMachine::run(Tick limit)
 {
-    eq_.run(limit);
+    engine_.run(limit);
+}
+
+bool
+CcsvmMachine::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    return engine_.runUntil(done, limit);
 }
 
 std::uint64_t

@@ -33,6 +33,7 @@
 #include "runtime/functional_mem.hh"
 #include "runtime/process.hh"
 #include "sim/eventq.hh"
+#include "sim/parteventq.hh"
 #include "sim/stats.hh"
 #include "vm/kernel.hh"
 #include "vm/walker.hh"
@@ -92,7 +93,22 @@ struct CcsvmConfig
 
     /** Enable the SWMR monitor (tests; small host-time cost). */
     bool swmrChecks = true;
+
+    /**
+     * Host worker threads for the partitioned event engine:
+     *   -1 = consult the CCSVM_SIM_THREADS environment variable
+     *        (absent or invalid -> 1),
+     *    0 = one worker per hardware thread,
+     *    N = exactly N workers.
+     * The partition/window schedule — and therefore every simulated
+     * statistic — is identical at any value; the thread count only
+     * changes how many host threads execute each window.
+     */
+    int simThreads = -1;
 };
+
+/** Resolve CcsvmConfig::simThreads to a concrete worker count. */
+int resolveSimThreads(int requested);
 
 /** The simulated CCSVM chip. */
 class CcsvmMachine : public runtime::FunctionalMem
@@ -123,10 +139,20 @@ class CcsvmMachine : public runtime::FunctionalMem
                  vm::VAddr args = 0);
 
     /** Run the event loop until fully idle (or @p limit). */
-    void run(Tick limit = sim::EventQueue::maxTick);
+    void run(Tick limit = sim::PartEngine::maxTick);
 
-    Tick now() const { return eq_.now(); }
-    sim::EventQueue &eventq() { return eq_; }
+    /**
+     * Run until the host-side predicate @p done is true (checked at
+     * every window barrier) or the machine drains.
+     * @return true iff the predicate fired
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  Tick limit = sim::PartEngine::maxTick);
+
+    /** Committed simulated time (base of the last engine window). */
+    Tick now() const { return engine_.now(); }
+    /** The partitioned engine (bench/diagnostic access). */
+    sim::PartEngine &engine() { return engine_; }
     sim::StatRegistry &stats() { return stats_; }
     mem::PhysMem &physMem() { return phys_; }
     vm::Kernel &kernel() { return *kernel_; }
@@ -162,8 +188,31 @@ class CcsvmMachine : public runtime::FunctionalMem
   private:
     void buildNodes();
 
+    /**
+     * Partition map of the chip: the two core clusters run
+     * independently of each other and of the memory system inside
+     * each conservative window; every directory/L2 home bank gets its
+     * own partition; DRAM, the kernel/VM machinery (walkers, PTE-line
+     * filter, fault service), and the MIFD share the "system"
+     * partition.
+     */
+    enum : int
+    {
+        partCpu = 0,
+        partMttop = 1,
+        partSys = 2,
+        partBank0 = 3,
+    };
+    sim::EventQueue &cpuQ() { return engine_.queue(partCpu); }
+    sim::EventQueue &mttopQ() { return engine_.queue(partMttop); }
+    sim::EventQueue &sysQ() { return engine_.queue(partSys); }
+    sim::EventQueue &bankQ(int b)
+    {
+        return engine_.queue(partBank0 + b);
+    }
+
     CcsvmConfig cfg_;
-    sim::EventQueue eq_;
+    sim::PartEngine engine_;
     sim::StatRegistry stats_;
     mem::PhysMem phys_;
 

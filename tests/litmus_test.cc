@@ -116,7 +116,7 @@ class LitmusRunner
                 machine_.mifd().submitTask(std::move(desc));
             }
         }
-        const bool done = machine_.eventq().runUntil(
+        const bool done = machine_.runUntil(
             [&remaining] { return remaining == 0; });
         ccsvm_assert(done, "litmus threads wedged");
 

@@ -36,8 +36,7 @@ launchNoop(CcsvmMachine &m, Process &proc, unsigned threads)
     desc.process = &proc;
     desc.onComplete = [&done] { done = true; };
     m.mifd().submitTask(std::move(desc));
-    const bool finished =
-        m.eventq().runUntil([&done] { return done; });
+    const bool finished = m.runUntil([&done] { return done; });
     ASSERT_TRUE(finished) << "task never completed";
 }
 

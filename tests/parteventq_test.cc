@@ -1,0 +1,247 @@
+/**
+ * @file
+ * PartEngine tests: conservative window invariants, deterministic
+ * cross-partition ordering, thread-count-independent statistics, and
+ * the worker-count resolution helpers. The suite carries the
+ * "concurrent" ctest label so the CI ThreadSanitizer lane exercises
+ * the multi-threaded window paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/xthreads.hh"
+#include "sim/parteventq.hh"
+#include "sim/sweep.hh"
+#include "system/ccsvm_machine.hh"
+
+namespace ccsvm::sim
+{
+namespace
+{
+
+TEST(PartEngine, RejectsDegenerateConfigs)
+{
+    // Lookahead 0 would make every window empty-width: no horizon to
+    // run ahead of, so construction must refuse it outright.
+    EXPECT_THROW(PartEngine(2, 0), std::invalid_argument);
+    EXPECT_THROW(PartEngine(0, 10), std::invalid_argument);
+    EXPECT_THROW(PartEngine(PartEngine::kMaxPartitions + 1, 10),
+                 std::invalid_argument);
+}
+
+TEST(PartEngine, RunsPartitionsWithEmptyOnesIdle)
+{
+    // Partition 1 never holds an event; the window loop must skip it
+    // without stalling and still drain the others.
+    PartEngine eng(3, 10);
+    std::vector<int> order;
+    eng.queue(0).schedule(5, [&] { order.push_back(1); });
+    eng.queue(2).schedule(25, [&] { order.push_back(2); });
+    eng.queue(0).schedule(40, [&] { order.push_back(3); });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(eng.empty());
+    EXPECT_EQ(eng.eventsExecuted(), 3u);
+    EXPECT_EQ(eng.now(), 40u);
+}
+
+TEST(PartEngine, RunRespectsLimitAndResumes)
+{
+    PartEngine eng(2, 10);
+    int fired = 0;
+    eng.queue(0).schedule(5, [&] { ++fired; });
+    eng.queue(1).schedule(100, [&] { ++fired; });
+    eng.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eng.empty());
+    eng.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST(PartEngine, CrossPartitionPostDelivers)
+{
+    PartEngine eng(2, 10);
+    bool delivered = false;
+    Tick arrival = 0;
+    eng.queue(1).schedule(5, [&] {
+        postToPartition(eng.queue(0), [&] {
+            delivered = true;
+            arrival = eng.queue(0).now();
+        });
+    });
+    eng.run();
+    EXPECT_TRUE(delivered);
+    // Earliest conservative arrival: source now + lookahead.
+    EXPECT_EQ(arrival, 15u);
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST(PartEngine, SameTickCrossOrderIsDeterministic)
+{
+    // Three source partitions race posts at the same destination tick.
+    // The barrier drain must order them by (priority, srcPart,
+    // srcSeq) regardless of which host thread ran which window.
+    for (const int threads : {1, 4}) {
+        PartEngine eng(4, 10, threads);
+        std::vector<std::string> order;
+        auto mark = [&](const char *tag) {
+            return [&order, tag] { order.push_back(tag); };
+        };
+        eng.queue(1).schedule(5, [&, mark] {
+            eng.post(eng.queue(0), 20, mark("p1a"));
+            eng.post(eng.queue(0), 20, mark("p1b"));
+        });
+        eng.queue(2).schedule(5, [&, mark] {
+            eng.post(eng.queue(0), 20, mark("p2a"));
+            eng.post(eng.queue(0), 20, mark("p2b"));
+        });
+        eng.queue(3).schedule(5, [&, mark] {
+            // Urgent message: beats every same-tick default-priority
+            // post, from any source partition.
+            eng.post(eng.queue(0), 20, mark("p3a"), prioDefault - 1);
+            eng.post(eng.queue(0), 20, mark("p3b"));
+        });
+        eng.run();
+        // Priority before source: the urgent p3a message leads, then
+        // default-priority posts in (srcPart, srcSeq) order.
+        EXPECT_EQ(order,
+                  (std::vector<std::string>{"p3a", "p1a", "p1b",
+                                            "p2a", "p2b", "p3b"}))
+            << "threads=" << threads;
+    }
+}
+
+TEST(PartEngine, HostScheduleAfterRunStaysConservative)
+{
+    // Regression: a partition that sits idle while another runs far
+    // ahead must not keep a stale local clock. The window loop
+    // fast-forwards every queue to each window base, so after run()
+    // the clocks agree to within one lookahead and host-initiated
+    // work on the quiet partition can still send cross-partition
+    // messages (the litmus suite hit this resubmitting MTTOP tasks).
+    PartEngine eng(2, 10);
+    int heavy = 0;
+    for (Tick t = 50; t <= 10000; t += 50)
+        eng.queue(1).schedule(t, [&] { ++heavy; });
+    eng.queue(0).schedule(1, [] {});
+    eng.run();
+    EXPECT_EQ(heavy, 200);
+    // Both clocks are now within [W, W+L) of the final window.
+    EXPECT_GE(eng.queue(0).now() + eng.lookahead(),
+              eng.queue(1).now());
+
+    bool delivered = false;
+    eng.queue(0).schedule(eng.queue(0).now() + 1, [&] {
+        postToPartition(eng.queue(1), [&] { delivered = true; });
+    });
+    eng.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST(PartEngine, ThreadCountIsBookkeepingOnly)
+{
+    PartEngine eng(2, 10, 0); // clamped to >= 1
+    EXPECT_EQ(eng.threads(), 1);
+    eng.setThreads(3);
+    EXPECT_EQ(eng.threads(), 3);
+}
+
+} // namespace
+} // namespace ccsvm::sim
+
+namespace ccsvm::system
+{
+namespace
+{
+
+using core::ThreadContext;
+using runtime::Process;
+using sim::GuestTask;
+using vm::VAddr;
+namespace xt = ccsvm::xthreads;
+
+/** Run the 8-thread launch/signal/join workload and return the full
+ * stats dump; the engine promises it is identical at any thread
+ * count. */
+std::string
+launchAndDump(int sim_threads, Tick *elapsed)
+{
+    CcsvmConfig cfg;
+    cfg.simThreads = sim_threads;
+    CcsvmMachine m(cfg);
+    Process &proc = m.createProcess();
+    const VAddr done = proc.gmalloc(8 * 4);
+    for (int i = 0; i < 8; ++i)
+        proc.poke<std::uint32_t>(done + i * 4, 0);
+    *elapsed = m.runMain(
+        proc, [](ThreadContext &ctx, VAddr done_va) -> GuestTask {
+            co_await xt::createMthread(
+                ctx,
+                [](ThreadContext &mt, VAddr d) -> GuestTask {
+                    co_await xt::mttopSignal(mt, d);
+                },
+                done_va, 0, 7);
+            co_await xt::cpuWaitAll(ctx, done_va, 0, 7);
+        },
+        done);
+    std::ostringstream os;
+    m.dumpStats(os);
+    return os.str();
+}
+
+TEST(PartEngineMachine, StatsIdenticalAcrossThreadCounts)
+{
+    Tick t1 = 0, t4 = 0;
+    const std::string serial = launchAndDump(1, &t1);
+    const std::string parallel = launchAndDump(4, &t4);
+    EXPECT_EQ(t1, t4);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("mifd.tasks"), std::string::npos);
+}
+
+TEST(SimThreads, HardwareJobsIsPositive)
+{
+    EXPECT_GE(sim::hardwareJobs(), 1u);
+}
+
+TEST(SimThreads, ResolveExplicitAndAuto)
+{
+    EXPECT_EQ(resolveSimThreads(1), 1);
+    EXPECT_EQ(resolveSimThreads(3), 3);
+    EXPECT_EQ(resolveSimThreads(0),
+              static_cast<int>(sim::hardwareJobs()));
+}
+
+TEST(SimThreads, ResolveFromEnvironment)
+{
+    const char *saved = std::getenv("CCSVM_SIM_THREADS");
+    const std::string keep = saved ? saved : "";
+
+    ::unsetenv("CCSVM_SIM_THREADS");
+    EXPECT_EQ(resolveSimThreads(-1), 1);
+    ::setenv("CCSVM_SIM_THREADS", "4", 1);
+    EXPECT_EQ(resolveSimThreads(-1), 4);
+    ::setenv("CCSVM_SIM_THREADS", "0", 1);
+    EXPECT_EQ(resolveSimThreads(-1),
+              static_cast<int>(sim::hardwareJobs()));
+    ::setenv("CCSVM_SIM_THREADS", "banana", 1);
+    EXPECT_EQ(resolveSimThreads(-1), 1);
+    // An explicit config wins without consulting the environment.
+    ::setenv("CCSVM_SIM_THREADS", "7", 1);
+    EXPECT_EQ(resolveSimThreads(2), 2);
+
+    if (saved)
+        ::setenv("CCSVM_SIM_THREADS", keep.c_str(), 1);
+    else
+        ::unsetenv("CCSVM_SIM_THREADS");
+}
+
+} // namespace
+} // namespace ccsvm::system

@@ -180,6 +180,13 @@ usage(const char *argv0, std::FILE *out = stdout)
         "  --dram-ns N         flat DRAM latency (default 100)\n"
         "  --no-swmr           disable the SWMR checker (faster host "
         "run)\n"
+        "  --sim-threads N     host threads for the partitioned event "
+        "engine\n"
+        "                      (default: CCSVM_SIM_THREADS env or 1; "
+        "0 = hardware\n"
+        "                      concurrency; stats are identical at "
+        "any value;\n"
+        "                      see README \"Parallel engine\")\n"
         "\n"
         "output:\n"
         "  --json FILE         write summary + full stats registry as "
@@ -502,6 +509,9 @@ parseArgs(int argc, char **argv)
             o.cfg.dram.accessLatency =
                 Tick(parseUnsigned("--dram-ns", next(), true)) *
                 tickNs;
+        } else if (arg == "--sim-threads") {
+            o.cfg.simThreads = static_cast<int>(
+                parseUnsigned("--sim-threads", next(), true));
         } else if (arg == "--no-swmr") {
             o.cfg.swmrChecks = false;
         } else if (arg == "--json") {
@@ -615,6 +625,8 @@ renderPointJson(std::ostream &os, const DriverOptions &o,
        << ", \"cpu_l1_bytes\": " << spec.cfg.cpuL1.sizeBytes
        << ", \"mttop_l1_bytes\": " << spec.cfg.mttopL1.sizeBytes
        << ", \"l2_bank_bytes\": " << spec.cfg.l2.bankSizeBytes
+       << ", \"sim_threads\": "
+       << system::resolveSimThreads(spec.cfg.simThreads)
        << ",\n              \"region_hints\": "
        << (p.regionHints ? "true" : "false") << ", \"regions\": [";
     for (std::size_t i = 0; i < spec.cfg.regions.size(); ++i) {
