@@ -40,5 +40,35 @@ if(NOT ticks EQUAL sim_ticks_counter)
                       "disagrees with summary (${ticks})")
 endif()
 
+# --- --json - : machine-parseable stdout ----------------------------
+# --iters is a synth-only flag, so matmul warns about it; the warning
+# (and the run summary) must land on stderr, leaving stdout pure JSON.
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --workload matmul --n 8 --iters 4 --json -
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout_doc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--json - run exited ${rc}\nstderr: ${err}")
+endif()
+string(JSON stdout_ticks GET "${stdout_doc}" sim ticks)
+if(NOT stdout_ticks EQUAL ticks)
+  message(FATAL_ERROR "--json - ticks (${stdout_ticks}) disagrees "
+                      "with --json FILE (${ticks})")
+endif()
+if(NOT err MATCHES "warning")
+  message(FATAL_ERROR "ignored-flag warning missing from stderr: "
+                      "${err}")
+endif()
+if(NOT err MATCHES "workload=matmul")
+  message(FATAL_ERROR "run summary not on stderr under --json -: "
+                      "${err}")
+endif()
+if(stdout_doc MATCHES "warning" OR stdout_doc MATCHES "workload=")
+  message(FATAL_ERROR "human-facing output leaked into stdout JSON:\n"
+                      "${stdout_doc}")
+endif()
+
 message(STATUS "driver JSON ok: ticks=${ticks} dram=${dram} "
-               "dram.reads=${dram_reads}")
+               "dram.reads=${dram_reads}; --json - stdout is pure "
+               "JSON")

@@ -83,6 +83,29 @@ for pattern in $SYNTH_PATTERNS; do
     done
 done
 
+# Observability smoke: a traced, sampled run with stdout JSON. The
+# quantitative assertions (trace byte-identity across --sim-threads,
+# stats unperturbed by tracing, histogram presence) live in the
+# ccsvm_trace_check ctest, which the full pass above already ran.
+echo "=== observability smoke ==="
+"$BUILD_DIR"/tools/ccsvm --workload matmul --n 8 \
+    --trace-out "$BUILD_DIR/ci_trace.json" \
+    --trace-categories coh,noc,kernel \
+    --sample-interval 500000 --json - > "$BUILD_DIR/ci_stats.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$BUILD_DIR/ci_trace.json" "$BUILD_DIR/ci_stats.json" \
+        <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert trace["traceEvents"], "empty trace"
+stats = json.load(open(sys.argv[2]))
+assert stats["series"]["samples"], "empty series"
+assert "latency.cpu.mem" in stats["stats"]["histograms"]
+print(f'ci.sh: trace rows={len(trace["traceEvents"])} '
+      f'samples={len(stats["series"]["samples"])}')
+EOF
+fi
+
 # Region-based coherence smoke: the per-workload default annotations
 # (synth:stream buffer -> bypass, matmul inputs -> read-mostly) and an
 # explicit whole-heap region must validate under every protocol. The

@@ -75,12 +75,14 @@ informImpl(const char *fmt, ...)
 {
     if (quietFlag)
         return;
-    std::fprintf(stdout, "info: ");
+    // stderr, like warn: stdout is reserved for requested output
+    // (--json -) and must stay machine-parseable.
+    std::fprintf(stderr, "info: ");
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stdout, fmt, args);
+    std::vfprintf(stderr, fmt, args);
     va_end(args);
-    std::fprintf(stdout, "\n");
+    std::fprintf(stderr, "\n");
 }
 
 } // namespace ccsvm

@@ -71,7 +71,8 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
       recallsStat_(stats.counter(name + ".recalls",
                                  "inclusive-eviction recalls")),
       stalls_(stats.counter(name + ".stalls",
-                            "requests stalled on busy blocks"))
+                            "requests stalled on busy blocks")),
+      trc_(stats.tracer()), lane_(stats.tracer().lane(name))
 {}
 
 void
@@ -326,6 +327,7 @@ Directory::processGetS(CohMsg &msg, L2Line *line)
     txn.requestor = msg.sender;
     txn.forwarded = false;
     txn.oldOwner = noL1;
+    txn.startTick = eq_->now();
 
     if (line->st == DirState::S) {
         CohMsg rsp;
@@ -383,6 +385,7 @@ Directory::processGetM(CohMsg &msg, L2Line *line)
     txn.requestor = msg.sender;
     txn.forwarded = false;
     txn.oldOwner = noL1;
+    txn.startTick = eq_->now();
 
     const L1Id req = msg.sender;
 
@@ -670,6 +673,13 @@ Directory::processUnblock(CohMsg &msg)
     const Txn txn = it->second;
     txns_.erase(it);
 
+    // The home-side view of the transaction: accept to Unblock.
+    if (trc_.enabled(sim::traceCoh))
+        trc_.complete(sim::traceCoh, lane_,
+                      txn.req == MsgType::GetM ? "dir.GetM"
+                                               : "dir.GetS",
+                      txn.startTick, eq_->now(), msg.blockAddr);
+
     L2Line *line = array_.lookup(msg.blockAddr);
     ccsvm_assert(line && line->busy, "Unblock for non-busy line");
 
@@ -763,6 +773,7 @@ Directory::allocateAndFetch(CohMsg msg)
     txn.requestor = requestor;
     txn.forwarded = false;
     txn.oldOwner = noL1;
+    txn.startTick = eq_->now();
 
     dram_->access(false, mem::blockBytes, [this, addr, requestor,
                                            want_m, req_policy] {

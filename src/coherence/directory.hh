@@ -140,6 +140,7 @@ class Directory
         L1Id requestor = noL1;
         bool forwarded = false;
         L1Id oldOwner = noL1;
+        Tick startTick = 0; ///< trace span start (request accepted)
     };
 
     /** Inclusive-eviction recall in progress. */
@@ -244,6 +245,9 @@ class Directory
     sim::Counter &invsSentOverride_;
     sim::Counter &recallsStat_;
     sim::Counter &stalls_;
+
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::coherence

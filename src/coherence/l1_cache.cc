@@ -7,6 +7,19 @@
 namespace ccsvm::coherence
 {
 
+namespace
+{
+
+/** Core class of an L1 by naming convention ("cpu3.l1" -> "cpu"):
+ * same-class L1s share one latency histogram family. */
+std::string
+coreClassOf(const std::string &name)
+{
+    return name.rfind("cpu", 0) == 0 ? "cpu" : "mttop";
+}
+
+} // namespace
+
 L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
                            const std::string &name, const L1Config &cfg,
                            L1Id id, noc::Network &net,
@@ -25,7 +38,25 @@ L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
                               "S/O-to-M upgrade transactions")),
       bypassOps_(stats.counter(name + ".bypassOps",
                                "bypass-region ops sent uncached to "
-                               "the home"))
+                               "the home")),
+      trc_(stats.tracer()), lane_(stats.tracer().lane(name)),
+      latAll_(stats.histogram(
+          "latency." + coreClassOf(name) + ".mem",
+          "end-to-end memory-request latency, all transactions")),
+      latHit_(stats.histogram("latency." + coreClassOf(name) + ".hit",
+                              "latency of L1 hits")),
+      latGetS_(stats.histogram(
+          "latency." + coreClassOf(name) + ".getS",
+          "latency of requests resolved by a GetS miss")),
+      latGetM_(stats.histogram(
+          "latency." + coreClassOf(name) + ".getM",
+          "latency of requests resolved by a GetM miss")),
+      latUpgrade_(stats.histogram(
+          "latency." + coreClassOf(name) + ".upgrade",
+          "latency of requests resolved by an upgrade")),
+      latBypass_(stats.histogram(
+          "latency." + coreClassOf(name) + ".bypass",
+          "latency of uncached bypass-region ops"))
 {}
 
 void
@@ -128,8 +159,26 @@ L1Controller::linePolicy(const Line &line) const
 }
 
 void
+L1Controller::recordLatency(sim::LatencyHistogram &h,
+                            const MemRequest &req)
+{
+    // completeOp charges hitLatency after now; issueTick is the first
+    // access() for the request, so this spans coalescing, overflow
+    // queueing and eviction waits too.
+    const std::uint64_t lat =
+        (eq_->now() - req.issueTick) + cfg_.hitLatency;
+    h.record(lat);
+    latAll_.record(lat);
+}
+
+void
 L1Controller::access(MemRequestPtr req)
 {
+    // First presentation of this request (retries via PutAck waiters
+    // or the overflow queue keep the original stamp).
+    if (req->issueTick == MemRequest::notIssued)
+        req->issueTick = eq_->now();
+
     if (req->region == RegionAttr::Bypass) {
         // Bypass regions are never cached, so the block cannot be in
         // the array, the victim buffer or an MSHR; the op goes
@@ -155,6 +204,7 @@ L1Controller::access(MemRequestPtr req)
             ++hits_;
             array_.touch(line);
             const std::uint64_t v = performOp(*line, *req);
+            recordLatency(latHit_, *req);
             completeOp(std::move(req), v);
             return;
         }
@@ -179,8 +229,11 @@ L1Controller::access(MemRequestPtr req)
     entry.policy = req->region == RegionAttr::ProtocolOverride
                        ? &protocolPolicy(req->regionProt)
                        : policy_;
-    if (entry.wantM && line)
+    entry.startTick = eq_->now();
+    if (entry.wantM && line) {
         ++upgrades_;
+        entry.upgrade = true;
+    }
     entry.ops.push_back(std::move(req));
     startTransaction(entry);
 }
@@ -225,6 +278,10 @@ L1Controller::handleBypassResp(CohMsg &msg)
                  (unsigned long long)msg.bypassId, id_);
     MemRequestPtr req = std::move(it->second);
     bypassPending_.erase(it);
+    recordLatency(latBypass_, *req);
+    if (trc_.enabled(sim::traceCoh))
+        trc_.complete(sim::traceCoh, lane_, "Bypass", req->issueTick,
+                      eq_->now(), msg.blockAddr);
     completeOp(std::move(req), msg.wdata);
 }
 
@@ -381,15 +438,26 @@ L1Controller::replayOps(MshrEntry &entry, Line *line)
             // A store coalesced behind a GetS fill: upgrade.
             entry.wantM = true;
             ++upgrades_;
+            entry.upgrade = true;
             startTransaction(entry);
             return;
         }
         const std::uint64_t v = performOp(*line, req);
         MemRequestPtr done = std::move(entry.ops.front());
         entry.ops.pop_front();
+        recordLatency(entry.upgrade ? latUpgrade_
+                      : entry.wantM ? latGetM_
+                                    : latGetS_,
+                      *done);
         completeOp(std::move(done), v);
     }
 
+    if (trc_.enabled(sim::traceCoh))
+        trc_.complete(sim::traceCoh, lane_,
+                      entry.upgrade ? "Upg"
+                      : entry.wantM ? "GetM"
+                                    : "GetS",
+                      entry.startTick, eq_->now(), entry.blockAddr);
     mshrs_.erase(entry.blockAddr);
     retryStalledFills();
     drainOverflow();

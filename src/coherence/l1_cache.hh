@@ -154,6 +154,13 @@ class L1Controller
         /** Resolved policy for this transaction (override or cluster
          * default). */
         const ProtocolPolicy *policy = nullptr;
+        /** Tick the transaction's MSHR was allocated (trace span
+         * start). */
+        Tick startTick = 0;
+        /** The transaction (ever) ran as an S/O-to-M upgrade — set at
+         * allocation over a held line or on a coalesced-store
+         * restart; classifies the latency histogram / trace span. */
+        bool upgrade = false;
     };
 
     /** Victim buffer entry: eviction awaiting PutAck. */
@@ -187,6 +194,11 @@ class L1Controller
     /** Functional access on held data; returns the load/old value. */
     std::uint64_t performOp(Line &line, MemRequest &req);
     void completeOp(MemRequestPtr req, std::uint64_t value);
+
+    /** Record @p req's end-to-end latency — issueTick to completion
+     * including the hit pipeline completeOp is about to charge — into
+     * @p h and the class-wide aggregate. */
+    void recordLatency(sim::LatencyHistogram &h, const MemRequest &req);
 
     // --- message handlers ---
     void handleFwdGetS(CohMsg &msg);
@@ -232,6 +244,18 @@ class L1Controller
     sim::Counter &fwdsServed_;
     sim::Counter &upgrades_;
     sim::Counter &bypassOps_;
+
+    sim::Tracer &trc_;
+    int lane_;
+    /** End-to-end memory-request latency, shared per core class
+     * ("cpu"/"mttop") across all same-class L1s via registry name
+     * dedup: the aggregate plus one histogram per transaction kind. */
+    sim::LatencyHistogram &latAll_;
+    sim::LatencyHistogram &latHit_;
+    sim::LatencyHistogram &latGetS_;
+    sim::LatencyHistogram &latGetM_;
+    sim::LatencyHistogram &latUpgrade_;
+    sim::LatencyHistogram &latBypass_;
 };
 
 } // namespace ccsvm::coherence

@@ -43,6 +43,14 @@ struct MemRequest
     RegionAttr region = RegionAttr::Coherent;
     Protocol regionProt{}; ///< valid when region == ProtocolOverride
 
+    /** Sentinel for issueTick: not yet presented to an L1. */
+    static constexpr Tick notIssued = ~Tick(0);
+
+    /** Tick of the first L1Controller::access() for this request;
+     * stamped by the L1, survives retries (PutAck waiters, overflow
+     * drains), and anchors the end-to-end latency histograms. */
+    Tick issueTick = notIssued;
+
     /** Completion callback; the argument is the loaded value (loads)
      * or the old value (atomics); 0 for stores. */
     std::function<void(std::uint64_t)> onDone;

@@ -19,7 +19,8 @@ CpuCore::CpuCore(sim::EventQueue &eq, sim::StatRegistry &stats,
       syscalls_(stats.counter(name + ".syscalls",
                               "MIFD write syscalls")),
       faults_(stats.counter(name + ".pageFaults",
-                            "page faults taken"))
+                            "page faults taken")),
+      trc_(stats.tracer()), lane_(stats.tracer().lane(name))
 {
     kernel.registerCpuTlb(&tlb_, &eq);
 }
@@ -250,6 +251,9 @@ CpuCore::doSyscall(ThreadContext &tc)
     GuestOp &op = tc.pendingOp();
     ccsvm_assert(mifd_.dev, "MIFD write syscall without a MIFD");
     auto task = op.task;
+    if (trc_.enabled(sim::traceKernel))
+        trc_.instant(sim::traceKernel, lane_, "launch", eq_->now(),
+                     task ? task->numThreads() : 0);
 
     // After the kernel syscall path, the driver's descriptor write
     // travels to the MIFD over the interconnect.

@@ -133,6 +133,9 @@ class CpuCore : public CoreModel
     sim::Counter &memOps_;
     sim::Counter &syscalls_;
     sim::Counter &faults_;
+
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::core

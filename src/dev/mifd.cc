@@ -14,7 +14,8 @@ Mifd::Mifd(sim::EventQueue &eq, sim::StatRegistry &stats,
       faultRelays_(stats.counter("mifd.faultRelays",
                                  "MTTOP page faults relayed to CPU")),
       errors_(stats.counter("mifd.errors",
-                            "error-register writes"))
+                            "error-register writes")),
+      trc_(stats.tracer()), lane_(stats.tracer().lane("mifd"))
 {}
 
 void
@@ -63,6 +64,9 @@ Mifd::acceptTask(core::TaskDescriptor desc)
 {
     ++tasks_;
     const unsigned threads = desc.numThreads();
+    if (trc_.enabled(sim::traceKernel))
+        trc_.instant(sim::traceKernel, lane_, "task", eq_->now(),
+                     threads);
 
     if (desc.requireAll && threads > totalFreeContexts()) {
         // The paper's semantics: the MIFD does not guarantee that a
@@ -128,6 +132,9 @@ Mifd::dispatch()
         // touches only the core, never the device.
         const Tick start = std::max(eq_->now(), deviceFree_);
         deviceFree_ = start + cfg_.chunkDispatchLatency;
+        if (trc_.enabled(sim::traceKernel))
+            trc_.complete(sim::traceKernel, lane_, "chunk", start,
+                          deviceFree_, chunk.first);
         core::MttopCore *core = mttops_[chosen].core;
         const noc::NodeId dst = mttops_[chosen].node;
         eq_->schedule(
@@ -194,6 +201,9 @@ Mifd::relayPageFault(runtime::Process &proc, vm::VAddr va,
         return;
     }
     ++faultRelays_;
+    if (trc_.enabled(sim::traceVm))
+        trc_.complete(sim::traceVm, lane_, "faultRelay", eq_->now(),
+                      eq_->now() + cfg_.faultRelayLatency, va);
     // Interrupt a CPU core with {cause=page fault, CR3}; the CPU-side
     // handler cost is the kernel model's fault latency.
     eq_->scheduleIn(cfg_.faultRelayLatency,

@@ -114,6 +114,9 @@ class Mifd : public core::MifdIface
     sim::Counter &chunks_;
     sim::Counter &faultRelays_;
     sim::Counter &errors_;
+
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::dev

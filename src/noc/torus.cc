@@ -15,7 +15,8 @@ TorusNetwork::TorusNetwork(sim::EventQueue &eq, sim::StatRegistry &stats,
       bytes_(stats.counter(name + ".bytes", "payload bytes injected")),
       hops_(stats.counter(name + ".hops", "total link traversals")),
       latency_(stats.distribution(name + ".latency",
-                                  "end-to-end packet latency (ticks)"))
+                                  "end-to-end packet latency (ticks)")),
+      trc_(stats.tracer()), lane_(stats.tracer().lane(name))
 {
     ccsvm_assert(cfg.width >= 1 && cfg.height >= 1,
                  "torus dimensions must be positive");
@@ -153,6 +154,10 @@ TorusNetwork::send(NodeId src, NodeId dst, VNet vnet, unsigned bytes,
                      src]() mutable {
                         latency_.record(static_cast<double>(
                             nowAt(src) - start));
+                        if (trc_.enabled(sim::traceNoc))
+                            trc_.complete(sim::traceNoc, lane_, "pkt",
+                                          start, nowAt(src),
+                                          pkt.bytes);
                         pkt.deliver();
                     },
                     sim::prioNetwork);
@@ -160,8 +165,12 @@ TorusNetwork::send(NodeId src, NodeId dst, VNet vnet, unsigned bytes,
     }
     // Tag the packet with its injection time via a wrapper closure.
     // The record runs at delivery, in the destination's partition.
-    auto done = [this, inner = std::move(pkt.deliver), start, dst]() {
+    auto done = [this, inner = std::move(pkt.deliver), start, dst,
+                 bytes]() {
         latency_.record(static_cast<double>(nowAt(dst) - start));
+        if (trc_.enabled(sim::traceNoc))
+            trc_.complete(sim::traceNoc, lane_, "pkt", start,
+                          nowAt(dst), bytes);
         inner();
     };
     pkt.deliver = std::move(done);

@@ -105,6 +105,9 @@ class TorusNetwork : public Network
     sim::Counter &bytes_;
     sim::Counter &hops_;
     sim::Distribution &latency_;
+
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::noc

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Log2-bucketed latency histogram.
+ *
+ * The paper's argument is about latency *shape*, not just means: the
+ * multi-tenant tail-latency scenario (ROADMAP) needs p99s, and the
+ * synth patterns need to show how coherence choices move the whole
+ * distribution. A histogram with power-of-two buckets covers the full
+ * Tick range at fixed memory cost and gives percentiles by linear
+ * interpolation inside the containing bucket.
+ *
+ * Samples accumulate into per-partition shards exactly like
+ * Distribution: bucket counts are integers (commute), the running sum
+ * is a double folded in fixed shard order, so results are
+ * byte-identical at any --sim-threads value.
+ */
+
+#ifndef CCSVM_SIM_HISTOGRAM_HH
+#define CCSVM_SIM_HISTOGRAM_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/parteventq.hh"
+
+namespace ccsvm::sim
+{
+
+/** Power-of-two-bucketed histogram of unsigned samples (ticks). */
+class LatencyHistogram
+{
+  public:
+    /** Bucket 0 holds the value 0; bucket b >= 1 holds
+     * [2^(b-1), 2^b). 64-bit samples need buckets 0..64. */
+    static constexpr unsigned kBuckets = 65;
+
+    LatencyHistogram(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        Shard &s = shards_[activePartition()];
+        ++s.count;
+        s.sum += static_cast<double>(v);
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        ++s.buckets[bucketOf(v)];
+    }
+
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t n = 0;
+        for (const Shard &s : shards_)
+            n += s.count;
+        return n;
+    }
+
+    double
+    sum() const
+    {
+        double v = 0;
+        for (const Shard &s : shards_)
+            v += s.sum;
+        return v;
+    }
+
+    double mean() const { const auto n = count(); return n ? sum() / n : 0.0; }
+
+    std::uint64_t
+    minValue() const
+    {
+        std::uint64_t v = ~std::uint64_t(0);
+        bool any = false;
+        for (const Shard &s : shards_)
+            if (s.count) {
+                v = std::min(v, s.min);
+                any = true;
+            }
+        return any ? v : 0;
+    }
+
+    std::uint64_t
+    maxValue() const
+    {
+        std::uint64_t v = 0;
+        for (const Shard &s : shards_)
+            if (s.count)
+                v = std::max(v, s.max);
+        return v;
+    }
+
+    /**
+     * The @p p-th percentile (p in [0, 100]), linearly interpolated
+     * inside the containing bucket and clamped to the observed
+     * [min, max] — so a histogram holding a single repeated value
+     * reports that exact value at every percentile. 0 when empty.
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t n = count();
+        if (n == 0)
+            return 0.0;
+        std::array<std::uint64_t, kBuckets> total{};
+        for (const Shard &s : shards_)
+            for (unsigned b = 0; b < kBuckets; ++b)
+                total[b] += s.buckets[b];
+
+        const double target =
+            std::max(1.0, p / 100.0 * static_cast<double>(n));
+        double cum = 0;
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            if (total[b] == 0)
+                continue;
+            const double cnt = static_cast<double>(total[b]);
+            if (cum + cnt >= target) {
+                const double lo =
+                    b == 0 ? 0.0
+                           : static_cast<double>(std::uint64_t(1)
+                                                 << (b - 1));
+                const double hi = b == 0 ? 0.0 : lo * 2.0;
+                const double frac = (target - cum) / cnt;
+                const double v = lo + frac * (hi - lo);
+                return std::clamp(v,
+                                  static_cast<double>(minValue()),
+                                  static_cast<double>(maxValue()));
+            }
+            cum += cnt;
+        }
+        return static_cast<double>(maxValue());
+    }
+
+    void
+    reset()
+    {
+        for (Shard &s : shards_)
+            s = Shard{};
+    }
+
+    /** Fold another histogram in, shard-by-shard (see Distribution). */
+    void
+    merge(const LatencyHistogram &o)
+    {
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const Shard &os = o.shards_[i];
+            if (os.count == 0)
+                continue;
+            Shard &s = shards_[i];
+            s.count += os.count;
+            s.sum += os.sum;
+            s.min = std::min(s.min, os.min);
+            s.max = std::max(s.max, os.max);
+            for (unsigned b = 0; b < kBuckets; ++b)
+                s.buckets[b] += os.buckets[b];
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        std::uint64_t count = 0;
+        double sum = 0;
+        std::uint64_t min = ~std::uint64_t(0);
+        std::uint64_t max = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+    };
+
+    std::string name_;
+    std::string desc_;
+    std::array<Shard, PartEngine::kMaxPartitions> shards_{};
+};
+
+} // namespace ccsvm::sim
+
+#endif // CCSVM_SIM_HISTOGRAM_HH

@@ -288,9 +288,11 @@ PartEngine::run(Tick limit)
         advanceTo(w);
         const Tick end =
             (w > maxTick - lookahead_) ? maxTick : w + lookahead_;
-        runWindowAll(limit == maxTick
-                         ? end
-                         : std::min(end, limit + 1));
+        const Tick wend =
+            limit == maxTick ? end : std::min(end, limit + 1);
+        runWindowAll(wend);
+        if (barrierHook_)
+            barrierHook_(w, wend);
     }
 }
 
@@ -308,9 +310,11 @@ PartEngine::runUntil(const std::function<bool()> &done, Tick limit)
         advanceTo(w);
         const Tick end =
             (w > maxTick - lookahead_) ? maxTick : w + lookahead_;
-        runWindowAll(limit == maxTick
-                         ? end
-                         : std::min(end, limit + 1));
+        const Tick wend =
+            limit == maxTick ? end : std::min(end, limit + 1);
+        runWindowAll(wend);
+        if (barrierHook_)
+            barrierHook_(w, wend);
     }
 }
 

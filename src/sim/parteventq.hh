@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -136,6 +137,20 @@ class PartEngine
     bool runUntil(const std::function<bool()> &done,
                   Tick limit = maxTick);
 
+    /**
+     * Hook invoked at every window barrier with the executed window
+     * [base, end), after its partitions have joined — single-threaded
+     * coordinator context where all partition state is quiescent.
+     * The observability layer uses it to flush trace rings and take
+     * time-series samples. The window schedule is thread-count
+     * independent, so anything the hook derives from it is too.
+     */
+    using BarrierHook = std::function<void(Tick base, Tick end)>;
+    void setBarrierHook(BarrierHook hook)
+    {
+        barrierHook_ = std::move(hook);
+    }
+
   private:
     struct CrossEvent
     {
@@ -171,6 +186,7 @@ class PartEngine
     Tick now_ = 0;
     int threads_ = 1;
     std::uint64_t windows_ = 0;
+    BarrierHook barrierHook_;
 
     /** Partitions with events in the current window, rebuilt at each
      * window start by the coordinator (workers read it only between

@@ -18,7 +18,9 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "sim/histogram.hh"
 #include "sim/parteventq.hh"
+#include "sim/trace.hh"
 
 namespace ccsvm::sim
 {
@@ -37,9 +39,17 @@ jsonEscape(const std::string &s)
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
           default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
+            if (static_cast<unsigned char>(ch) < 0x20 ||
+                static_cast<unsigned char>(ch) >= 0x7f) {
+                // Control bytes are forbidden in JSON strings, and a
+                // raw high-bit byte need not be valid UTF-8; escape
+                // both. Widen through unsigned char: a negative char
+                // sign-extends into an 8-hex-digit escape that no
+                // JSON parser accepts.
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
                 out += buf;
             } else {
                 out += ch;
@@ -251,6 +261,24 @@ class StatRegistry
         return *it->second;
     }
 
+    LatencyHistogram &
+    histogram(const std::string &name, const std::string &desc = "")
+    {
+        auto it = histos_.find(name);
+        if (it == histos_.end()) {
+            it = histos_
+                     .emplace(name, std::make_unique<LatencyHistogram>(
+                                        name, desc))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** The machine's trace recorder (off until a category mask is
+     * set; see Tracer). Living here lets every component reach it
+     * through the StatRegistry& it already takes. */
+    Tracer &tracer() { return tracer_; }
+
     /** Value of a counter, or 0 if it was never created. */
     std::uint64_t
     get(const std::string &name) const
@@ -277,6 +305,22 @@ class StatRegistry
         return total;
     }
 
+    /** Sum of all counters whose names end with @p suffix (e.g.
+     * ".l1.misses" across every core). The time-series sampler uses
+     * this to snapshot per-component families as one column. */
+    std::uint64_t
+    sumMatchingSuffix(const std::string &suffix) const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[name, c] : counters_) {
+            if (name.size() >= suffix.size() &&
+                name.compare(name.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+                total += c->value();
+        }
+        return total;
+    }
+
     /**
      * Deep-copy every counter and distribution of @p other into this
      * registry (matching names accumulate). This is how a sweep
@@ -291,6 +335,8 @@ class StatRegistry
             counter(name, c->desc()) += c->value();
         for (const auto &[name, d] : other.dists_)
             distribution(name, d->desc()).merge(*d);
+        for (const auto &[name, h] : other.histos_)
+            histogram(name, h->desc()).merge(*h);
     }
 
     void
@@ -300,6 +346,8 @@ class StatRegistry
             c->reset();
         for (auto &[name, d] : dists_)
             d->reset();
+        for (auto &[name, h] : histos_)
+            h->reset();
     }
 
     /** Text dump in name order, gem5 stats.txt style. */
@@ -318,14 +366,23 @@ class StatRegistry
                << name << "::min " << d->minValue() << "\n"
                << name << "::max " << d->maxValue() << "\n";
         }
+        for (const auto &[name, h] : histos_) {
+            os << name << "::count " << h->count() << "\n"
+               << name << "::mean " << h->mean() << "\n"
+               << name << "::min " << h->minValue() << "\n"
+               << name << "::max " << h->maxValue() << "\n"
+               << name << "::p50 " << h->percentile(50) << "\n"
+               << name << "::p99 " << h->percentile(99) << "\n";
+        }
     }
 
     /**
-     * JSON dump: one object with "counters" (name -> value) and
-     * "distributions" (name -> {count, sum, mean, min, max}) members.
-     * Emitted sorted by name so diffs between runs are stable. The
-     * driver and the figure benchmarks both embed this object in
-     * their output files.
+     * JSON dump: one object with "counters" (name -> value),
+     * "distributions" (name -> {count, sum, mean, min, max}) and
+     * "histograms" (name -> {count, mean, min, max, p50..p999})
+     * members. Emitted sorted by name so diffs between runs are
+     * stable. The driver and the figure benchmarks both embed this
+     * object in their output files.
      */
     void
     dumpJson(std::ostream &os, const std::string &indent = "") const
@@ -352,12 +409,31 @@ class StatRegistry
                << ", \"max\": " << jsonNumber(d->maxValue()) << "}";
             first = false;
         }
+        os << (first ? "" : "\n" + in1) << "},\n"
+           << in1 << "\"histograms\": {";
+        first = true;
+        for (const auto &[name, h] : histos_) {
+            os << (first ? "\n" : ",\n") << in2 << '"'
+               << jsonEscape(name) << "\": {"
+               << "\"count\": " << h->count()
+               << ", \"mean\": " << jsonNumber(h->mean())
+               << ", \"min\": " << h->minValue()
+               << ", \"max\": " << h->maxValue()
+               << ", \"p50\": " << jsonNumber(h->percentile(50))
+               << ", \"p90\": " << jsonNumber(h->percentile(90))
+               << ", \"p99\": " << jsonNumber(h->percentile(99))
+               << ", \"p999\": " << jsonNumber(h->percentile(99.9))
+               << "}";
+            first = false;
+        }
         os << (first ? "" : "\n" + in1) << "}\n" << indent << "}";
     }
 
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Distribution>> dists_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histos_;
+    Tracer tracer_;
 };
 
 } // namespace ccsvm::sim

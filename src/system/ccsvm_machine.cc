@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "base/logging.hh"
 #include "sim/sweep.hh"
@@ -76,11 +77,59 @@ CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     if (cfg_.swmrChecks)
         monitor_ = std::make_unique<coherence::SwmrMonitor>();
 
+    // Observability: arm the tracer before components intern their
+    // lanes in buildNodes(). An unparseable category list is a
+    // config error, reported like PartEngine's lookahead check.
+    if (!cfg_.traceCategories.empty()) {
+        unsigned mask = 0;
+        if (!sim::Tracer::parseCategories(cfg_.traceCategories, mask))
+            throw std::invalid_argument(
+                "bad trace categories: " + cfg_.traceCategories);
+        stats_.tracer().setMask(mask);
+    }
+    engineLane_ = stats_.tracer().lane("engine");
+
     kernel_ = std::make_unique<vm::Kernel>(
         sysQ(), stats_, phys_, cfg_.kernel, cfg_.framePoolBase,
         cfg_.physMemBytes - cfg_.framePoolBase);
 
     buildNodes();
+
+    // The barrier hook is pure observability cost: only installed
+    // when something consumes it.
+    nextSample_ = cfg_.sampleInterval;
+    if (stats_.tracer().anyEnabled() || cfg_.sampleInterval > 0) {
+        engine_.setBarrierHook([this](Tick base, Tick end) {
+            onWindowBarrier(base, end);
+        });
+    }
+}
+
+void
+CcsvmMachine::onWindowBarrier(Tick base, Tick end)
+{
+    sim::Tracer &trc = stats_.tracer();
+    if (trc.enabled(sim::traceEngine))
+        trc.complete(sim::traceEngine, engineLane_, "window", base,
+                     end, 0, false);
+    trc.flush();
+
+    if (cfg_.sampleInterval > 0 && base >= nextSample_) {
+        Sample s;
+        s.t = base;
+        s.dram = stats_.sumMatching("dram.");
+        s.l1Hits = stats_.sumMatchingSuffix(".hits");
+        s.l1Misses = stats_.sumMatchingSuffix(".misses");
+        s.nocPackets = stats_.get("noc.packets");
+        s.nocBytes = stats_.get("noc.bytes");
+        s.pageFaults = stats_.get("kernel.pageFaults");
+        samples_.push_back(s);
+        // One sample per crossed boundary set, however many intervals
+        // this window skipped.
+        do {
+            nextSample_ += cfg_.sampleInterval;
+        } while (nextSample_ <= base);
+    }
 }
 
 CcsvmMachine::~CcsvmMachine() = default;

@@ -95,6 +95,23 @@ struct CcsvmConfig
     bool swmrChecks = true;
 
     /**
+     * Transaction-trace categories ("coh,noc,vm,kernel,engine" or
+     * "all"; driver flag --trace-categories). Empty (the default)
+     * disables tracing entirely: no barrier hook is installed and
+     * every record site reduces to one load + mask test, so default
+     * runs are unperturbed. Export with stats().tracer().writeJson().
+     */
+    std::string traceCategories;
+
+    /**
+     * Time-series sampling interval in ticks (driver flag
+     * --sample-interval); 0 = off. Samples are taken at the first
+     * window barrier at or past each interval boundary — the window
+     * schedule is thread-count independent, so the series is too.
+     */
+    Tick sampleInterval = 0;
+
+    /**
      * Host worker threads for the partitioned event engine:
      *   -1 = consult the CCSVM_SIM_THREADS environment variable
      *        (absent or invalid -> 1),
@@ -178,6 +195,22 @@ class CcsvmMachine : public runtime::FunctionalMem
     /** Off-chip DRAM transactions so far (Figure 9's metric). */
     std::uint64_t dramAccesses() const;
 
+    /** One time-series sample: cumulative counter totals committed at
+     * a window barrier (tick = the window base). */
+    struct Sample
+    {
+        Tick t = 0;
+        std::uint64_t dram = 0;       ///< sum of "dram.*"
+        std::uint64_t l1Hits = 0;     ///< sum of "*.hits"
+        std::uint64_t l1Misses = 0;   ///< sum of "*.misses"
+        std::uint64_t nocPackets = 0;
+        std::uint64_t nocBytes = 0;
+        std::uint64_t pageFaults = 0;
+    };
+
+    /** Samples collected so far (empty unless sampleInterval > 0). */
+    const std::vector<Sample> &samples() const { return samples_; }
+
     /** Text dump of every statistic (gem5 stats.txt style). */
     void dumpStats(std::ostream &os) const { stats_.dump(os); }
 
@@ -187,6 +220,8 @@ class CcsvmMachine : public runtime::FunctionalMem
 
   private:
     void buildNodes();
+    /** Engine barrier hook: trace flush + time-series sampling. */
+    void onWindowBarrier(Tick base, Tick end);
 
     /**
      * Partition map of the chip: the two core clusters run
@@ -240,6 +275,10 @@ class CcsvmMachine : public runtime::FunctionalMem
 
     std::vector<std::unique_ptr<runtime::Process>> processes_;
     std::vector<std::unique_ptr<CpuThread>> cpuThreads_;
+
+    std::vector<Sample> samples_;
+    Tick nextSample_ = 0;
+    int engineLane_ = 0;
 };
 
 } // namespace ccsvm::system

@@ -116,7 +116,8 @@ class Kernel
           faults_(stats.counter("kernel.pageFaults",
                                 "page faults serviced")),
           shootdowns_(stats.counter("kernel.shootdowns",
-                                    "TLB shootdowns issued"))
+                                    "TLB shootdowns issued")),
+          trc_(stats.tracer()), lane_(stats.tracer().lane("kernel"))
     {}
 
     FrameAllocator &frames() { return frames_; }
@@ -251,6 +252,10 @@ class Kernel
                    std::function<void()> on_done)
     {
         ++shootdowns_;
+        if (trc_.enabled(sim::traceVm))
+            trc_.complete(sim::traceVm, lane_, "shootdown",
+                          eq_->now(),
+                          eq_->now() + cfg_.shootdownLatency, va);
         WalkResult r = as.pageTable().walk(va);
         if (r.present) {
             as.pageTable().unmap(va);
@@ -289,7 +294,11 @@ class Kernel
         Fault f = faultQueue_.front();
         faultQueue_.pop_front();
 
-        eq_->scheduleIn(cfg_.pageFaultLatency, [this, f] {
+        const Tick t0 = eq_->now();
+        eq_->scheduleIn(cfg_.pageFaultLatency, [this, f, t0] {
+            if (trc_.enabled(sim::traceKernel))
+                trc_.complete(sim::traceKernel, lane_, "pageFault",
+                              t0, eq_->now(), f.va);
             // Lazy allocation: a fresh zeroed frame, writable.
             WalkResult r = f.as->pageTable().walk(f.va);
             if (!r.present) {
@@ -326,6 +335,8 @@ class Kernel
 
     sim::Counter &faults_;
     sim::Counter &shootdowns_;
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::vm

@@ -95,7 +95,8 @@ class Walker
                                     "PTE reads served by the shared "
                                     "cache")),
           pwcMisses_(stats.counter(name + ".pwcMisses",
-                                   "PTE reads fetched off-chip"))
+                                   "PTE reads fetched off-chip")),
+          trc_(stats.tracer()), lane_(stats.tracer().lane(name))
     {}
 
     /**
@@ -141,6 +142,17 @@ class Walker
               std::function<void(WalkResult)> on_done)
     {
         ++walks_;
+        if (trc_.enabled(sim::traceVm)) {
+            // Wrap the completion so the span closes when the last
+            // PTE access resolves, still in this walker's partition.
+            const Tick t0 = eq_->now();
+            on_done = [this, t0, va, cb = std::move(on_done)](
+                          WalkResult res) mutable {
+                trc_.complete(sim::traceVm, lane_, "walk", t0,
+                              eq_->now(), va);
+                cb(res);
+            };
+        }
         WalkResult r = pt.walk(va);
         stepWalk(r, 0, std::move(on_done));
     }
@@ -223,6 +235,8 @@ class Walker
     sim::Counter &pwcHits_;
     sim::Counter &sharedHits_;
     sim::Counter &pwcMisses_;
+    sim::Tracer &trc_;
+    int lane_;
 };
 
 } // namespace ccsvm::vm

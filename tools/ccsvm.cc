@@ -75,7 +75,9 @@ struct DriverOptions
 
     system::CcsvmConfig cfg;
 
-    std::string jsonPath;       ///< empty = no JSON output
+    std::string jsonPath;       ///< empty = no JSON output; "-" = stdout
+    std::string traceOut;       ///< empty = no trace file
+    std::string traceCategories; ///< --trace-categories value
     bool textStats = false;
     bool verbose = false;
 };
@@ -96,6 +98,7 @@ struct PointOutput
     std::string summary;   ///< the one-line stdout summary
     std::string statsText; ///< --stats dump ("" when not requested)
     std::string json;      ///< full JSON doc ("" when no --json)
+    std::string trace;     ///< Chrome trace JSON ("" when no --trace-out)
     bool correct = false;
 };
 
@@ -191,8 +194,22 @@ usage(const char *argv0, std::FILE *out = stdout)
         "output:\n"
         "  --json FILE         write summary + full stats registry as "
         "JSON\n"
+        "                      (FILE '-' = stdout; summaries/--stats "
+        "move to stderr)\n"
         "  --stats             dump the stats registry as text on "
         "stdout\n"
+        "observability (see README \"Observability\"):\n"
+        "  --trace-out FILE    write a Chrome trace-event JSON "
+        "(single point only;\n"
+        "                      load in Perfetto / chrome://tracing)\n"
+        "  --trace-categories LIST\n"
+        "                      comma list of coh,noc,vm,kernel,engine "
+        "or all\n"
+        "                      (default all when --trace-out is set)\n"
+        "  --sample-interval TICKS\n"
+        "                      sample counter totals every TICKS into "
+        "a \"series\"\n"
+        "                      section of the JSON (0 = off)\n"
         "  --verbose           keep simulator log output\n"
         "  --help              this text\n",
         argv0, reg.nameList(" | ").c_str(),
@@ -516,6 +533,33 @@ parseArgs(int argc, char **argv)
             o.cfg.swmrChecks = false;
         } else if (arg == "--json") {
             o.jsonPath = next();
+        } else if (arg == "--trace-out") {
+            o.traceOut = next();
+        } else if (arg == "--trace-categories") {
+            o.traceCategories = next();
+            unsigned mask = 0;
+            if (!sim::Tracer::parseCategories(o.traceCategories,
+                                              mask)) {
+                std::fprintf(
+                    stderr,
+                    "ccsvm: --trace-categories wants a comma list "
+                    "of coh, noc, vm, kernel, engine or all, got "
+                    "'%s'\n",
+                    o.traceCategories.c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--sample-interval") {
+            // Ticks are picoseconds; intervals routinely exceed the
+            // 32-bit range parseUnsigned would clip to.
+            const char *v = next();
+            char *end = nullptr;
+            o.cfg.sampleInterval = std::strtoull(v, &end, 10);
+            if (!v[0] || (end && *end)) {
+                std::fprintf(stderr,
+                             "ccsvm: --sample-interval needs a tick "
+                             "count, got '%s'\n", v);
+                std::exit(2);
+            }
         } else if (arg == "--stats") {
             o.textStats = true;
         } else if (arg == "--verbose") {
@@ -528,6 +572,17 @@ parseArgs(int argc, char **argv)
             usage(argv[0], stderr);
             std::exit(2);
         }
+    }
+    // Tracing is only armed when there is somewhere to write it;
+    // --trace-categories alone is almost certainly a mistake, so
+    // warn rather than pay the tracing cost silently.
+    if (!o.traceOut.empty()) {
+        o.cfg.traceCategories =
+            o.traceCategories.empty() ? "all" : o.traceCategories;
+    } else if (!o.traceCategories.empty()) {
+        std::fprintf(stderr,
+                     "ccsvm: warning: --trace-categories without "
+                     "--trace-out; tracing stays off\n");
     }
     // Overlapping --region declarations are a user error: fail fast
     // with a CLI diagnostic instead of tripping the simulator's
@@ -645,8 +700,28 @@ renderPointJson(std::ostream &os, const DriverOptions &o,
        << ", \"ticks_no_init\": " << r.ticksNoInit
        << ", \"dram_accesses\": " << r.dramAccesses
        << ", \"correct\": " << (r.correct ? "true" : "false")
-       << "},\n"
-       << "  \"stats\": ";
+       << "},\n";
+    if (spec.cfg.sampleInterval > 0) {
+        // Time series: cumulative counter totals at each interval
+        // boundary. Only present when sampling is on, so default
+        // JSON output is byte-identical to the sampling-less driver.
+        const std::vector<system::CcsvmMachine::Sample> &samples =
+            m.samples();
+        os << "  \"series\": {\"interval\": " << spec.cfg.sampleInterval
+           << ", \"samples\": [";
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            const system::CcsvmMachine::Sample &s = samples[i];
+            os << (i ? ",\n    " : "\n    ") << "{\"t\": " << s.t
+               << ", \"dram\": " << s.dram
+               << ", \"l1_hits\": " << s.l1Hits
+               << ", \"l1_misses\": " << s.l1Misses
+               << ", \"noc_packets\": " << s.nocPackets
+               << ", \"noc_bytes\": " << s.nocBytes
+               << ", \"page_faults\": " << s.pageFaults << "}";
+        }
+        os << (samples.empty() ? "]" : "\n  ]") << "},\n";
+    }
+    os << "  \"stats\": ";
     m.stats().dumpJson(os, "  ");
     os << "\n}";
 }
@@ -704,6 +779,11 @@ runPoint(const DriverOptions &o, const PointSpec &spec)
         renderPointJson(ss, o, spec, m, r);
         out.json = ss.str();
     }
+    if (!o.traceOut.empty()) {
+        std::ostringstream ss;
+        m.stats().tracer().writeJson(ss);
+        out.trace = ss.str();
+    }
     return out;
 }
 
@@ -734,6 +814,16 @@ main(int argc, char **argv)
         }
     }
 
+    // A transaction trace of a whole sweep would interleave unrelated
+    // machines into one timeline; keep the feature single-point.
+    if (!o.traceOut.empty() && points.size() > 1) {
+        std::fprintf(stderr,
+                     "ccsvm: --trace-out traces a single run; drop "
+                     "the sweep axes (%zu points selected)\n",
+                     points.size());
+        return 2;
+    }
+
     // Simulate — on this thread for a single point (byte-identical to
     // the pre-sweep driver), through the sweep runner for a grid. The
     // runner returns results in point order whatever --jobs is, so
@@ -750,21 +840,32 @@ main(int argc, char **argv)
         results = runner.map<PointOutput>(tasks);
     }
 
+    // --json - reserves stdout for the JSON document: the human-facing
+    // summaries and --stats text move to stderr so `ccsvm ... | jq`
+    // just works.
+    const bool json_stdout = o.jsonPath == "-";
+    std::FILE *const human = json_stdout ? stderr : stdout;
     bool all_correct = true;
     for (const PointOutput &res : results) {
-        std::fputs(res.summary.c_str(), stdout);
+        std::fputs(res.summary.c_str(), human);
         if (o.textStats)
-            std::cout << res.statsText;
+            std::fputs(res.statsText.c_str(), human);
         all_correct = all_correct && res.correct;
     }
 
     if (!o.jsonPath.empty()) {
-        std::ofstream os(o.jsonPath);
-        if (!os) {
-            std::fprintf(stderr, "ccsvm: cannot open %s\n",
-                         o.jsonPath.c_str());
-            return 1;
+        std::ofstream file;
+        if (!json_stdout) {
+            file.open(o.jsonPath);
+            if (!file) {
+                std::fprintf(stderr, "ccsvm: cannot open %s\n",
+                             o.jsonPath.c_str());
+                return 1;
+            }
         }
+        std::ostream &os = json_stdout
+                               ? static_cast<std::ostream &>(std::cout)
+                               : file;
         if (results.size() == 1) {
             os << results[0].json << "\n";
         } else {
@@ -782,6 +883,21 @@ main(int argc, char **argv)
         if (!os.flush()) {
             std::fprintf(stderr, "ccsvm: short write to %s\n",
                          o.jsonPath.c_str());
+            return 1;
+        }
+    }
+
+    if (!o.traceOut.empty()) {
+        std::ofstream os(o.traceOut);
+        if (!os) {
+            std::fprintf(stderr, "ccsvm: cannot open %s\n",
+                         o.traceOut.c_str());
+            return 1;
+        }
+        os << results[0].trace;
+        if (!os.flush()) {
+            std::fprintf(stderr, "ccsvm: short write to %s\n",
+                         o.traceOut.c_str());
             return 1;
         }
     }
