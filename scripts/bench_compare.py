@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Run abl_replay, emit BENCH_replay.json, and gate on regressions.
+
+The durable perf trajectory for the trace capture + replay subsystem:
+CI runs this after the build, uploads the fresh BENCH_replay.json as
+an artifact, and fails when replay throughput regresses by more than
+the threshold against the committed baseline.
+
+The gated metric is replay_capture_ratio — replay throughput over
+capture throughput from the same process on the same host, so the
+number is host-speed independent: a slower CI machine scales both
+sides equally, while a regression in the replay path (or a capture
+speedup replay fails to share) moves the ratio. Absolute Mev/s and
+event counts are recorded for trend reading but deliberately not
+gated.
+
+usage: scripts/bench_compare.py [--build DIR] [--out FILE]
+                                [--baseline FILE] [--threshold F]
+                                [--update]
+
+  --update   rewrite the committed baseline from this run (use after
+             an intentional perf change; commit the result)
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_bench(build_dir: str, out_path: str) -> dict:
+    bench = os.path.join(build_dir, "bench", "abl_replay")
+    if not os.access(bench, os.X_OK):
+        sys.exit(f"bench_compare: no abl_replay at {bench}; build first")
+    env = dict(os.environ, CCSVM_BENCH_JSON=out_path)
+    subprocess.run([bench], check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def rows_by_x(doc: dict) -> dict:
+    return {row["x"]: row for row in doc["rows"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default=os.path.join(REPO, "build"))
+    ap.add_argument("--out",
+                    default=os.path.join(REPO, "BENCH_replay.json"))
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO, "bench",
+                                         "BENCH_replay.baseline.json"))
+    ap.add_argument("--threshold", type=float, default=0.8,
+                    help="fail when ratio < threshold * baseline "
+                         "(default 0.8 = >20%% regression)")
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    doc = run_bench(args.build, args.out)
+    print(f"bench_compare: wrote {args.out}")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        sys.exit(f"bench_compare: no baseline at {args.baseline}; "
+                 f"run with --update to create one")
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    current = rows_by_x(doc)
+    failures = []
+    for x, base_row in rows_by_x(base).items():
+        if x not in current:
+            failures.append(f"row x={x} missing from current run")
+            continue
+        cur = current[x]
+        base_ratio = base_row["replay_capture_ratio"]
+        cur_ratio = cur["replay_capture_ratio"]
+        floor = args.threshold * base_ratio
+        verdict = "ok" if cur_ratio >= floor else "REGRESSION"
+        print(f"bench_compare: x={x} replay_capture_ratio "
+              f"{cur_ratio:.3f} vs baseline {base_ratio:.3f} "
+              f"(floor {floor:.3f}) {verdict}  "
+              f"[events {cur['events']:.0f} vs "
+              f"{base_row['events']:.0f}, replay "
+              f"{cur['replay_Mev_per_s']:.2f} Mev/s]")
+        if cur_ratio < floor:
+            failures.append(
+                f"x={x}: replay/capture throughput ratio "
+                f"{cur_ratio:.3f} fell below {floor:.3f} "
+                f"({args.threshold:.0%} of baseline "
+                f"{base_ratio:.3f})")
+
+    if failures:
+        for f_ in failures:
+            print(f"bench_compare: FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("bench_compare: replay throughput within "
+          f"{1 - args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,11 @@ void
 CpuCore::issue(ThreadContext &tc)
 {
     GuestOp &op = tc.pendingOp();
+    // issue() runs exactly once per declared op (fault retries
+    // re-enter translateAndAccess, not issue), so this is the one
+    // capture point for the CPU-side guest op stream.
+    if (OpSink *sink = tc.sink())
+        sink->record(op, eq_->now());
     switch (op.kind) {
       case OpKind::Compute: {
         const std::uint64_t n = std::max<std::uint64_t>(

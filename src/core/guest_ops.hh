@@ -52,6 +52,11 @@ struct TaskDescriptor
     bool requireAll = true;
     /** Host callback once every thread of the task has exited. */
     std::function<void()> onComplete;
+    /** Trace-capture launch id, stamped by the capture sink when the
+     * launching MIFD write is recorded (0 = not captured). Travels
+     * with the by-value descriptor copy through the MIFD so MTTOP-side
+     * capture can key thread streams to their launch. */
+    std::uint64_t captureId = 0;
 
     unsigned
     numThreads() const
@@ -126,6 +131,22 @@ struct GuestOp
     {
         return kind == OpKind::Store || kind == OpKind::Amo;
     }
+};
+
+/**
+ * Observer for trace capture (workloads/replay): a thread context may
+ * carry a sink, and the owning core reports every guest operation to
+ * it at the op's issue point. Sinks are pure host-side observers —
+ * they must not schedule events or touch simulated state. @p op is
+ * mutable only so MIFD-write capture can stamp the descriptor's
+ * captureId.
+ */
+class OpSink
+{
+  public:
+    virtual ~OpSink() = default;
+
+    virtual void record(GuestOp &op, Tick now) = 0;
 };
 
 /** Interface implemented by core timing models. */

@@ -63,6 +63,10 @@ MttopCore::assignChunk(std::shared_ptr<TaskDescriptor> desc,
         const ThreadId tid = first + assigned;
         ++assigned;
         slot->tc.bind(tid, desc->process, this);
+        // Always (re)set the sink: slots are reused, and a stale sink
+        // from a captured launch must never leak into later work.
+        slot->tc.setSink(captureHook_ ? captureHook_(*desc, tid)
+                                      : nullptr);
         slot->tc.start(desc->fn(slot->tc, desc->args));
         ThreadContext *tc = &slot->tc;
         eq_->schedule(clock_.clockEdge(1),
@@ -134,6 +138,10 @@ void
 MttopCore::processOp(ThreadContext &tc)
 {
     GuestOp &op = tc.pendingOp();
+    // processOp() runs exactly once per declared op: the single
+    // capture point for this thread's guest op stream.
+    if (OpSink *sink = tc.sink())
+        sink->record(op, eq_->now());
     switch (op.kind) {
       case OpKind::Compute: {
         const std::uint64_t n = std::max<std::uint64_t>(

@@ -18,6 +18,7 @@
 #define CCSVM_CORE_MTTOP_CORE_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,19 @@ class MttopCore : public CoreModel
     unsigned totalContexts() const { return cfg_.numContexts; }
 
     /**
+     * Trace-capture hook: resolves the op sink for a freshly assigned
+     * thread (keyed by its task's captureId and tid). While set, every
+     * assignChunk consults it; a null hook (or a null result) leaves
+     * the context sink-free. Runs in this core's partition.
+     */
+    using CaptureHook =
+        std::function<OpSink *(const TaskDescriptor &, ThreadId)>;
+    void setCaptureHook(CaptureHook hook)
+    {
+        captureHook_ = std::move(hook);
+    }
+
+    /**
      * Accept a SIMD-width chunk of threads [first, first+count) of a
      * task; called by the MIFD after dispatch.
      */
@@ -110,6 +124,7 @@ class MttopCore : public CoreModel
     MifdIface *mifd_ = nullptr;
     unsigned mifdPort_ = 0;
     sim::EventQueue *doneq_ = nullptr;
+    CaptureHook captureHook_;
 
     std::vector<std::unique_ptr<Slot>> slots_;
     unsigned freeSlots_;

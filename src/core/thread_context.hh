@@ -44,6 +44,12 @@ class ThreadContext
     runtime::Process *process() const { return process_; }
     CoreModel *core() const { return core_; }
 
+    /** Attach (or clear, with nullptr) the trace-capture sink. Not
+     * touched by bind(): whoever binds a context sets the sink
+     * explicitly so reused MTTOP slots never leak a stale sink. */
+    void setSink(OpSink *sink) { sink_ = sink; }
+    OpSink *sink() const { return sink_; }
+
     // --- guest-facing awaitables -----------------------------------
 
     struct OpAwaiter
@@ -189,6 +195,15 @@ class ThreadContext
         return OpAwaiter{this};
     }
 
+    /** Issue an externally-built operation verbatim (trace replay);
+     * behaves exactly like the typed builders above. */
+    OpAwaiter
+    rawOp(GuestOp op)
+    {
+        op_ = std::move(op);
+        return OpAwaiter{this};
+    }
+
     // --- core-facing interface --------------------------------------
 
     /** Adopt and start a root task; first resume happens via
@@ -235,6 +250,7 @@ class ThreadContext
     ThreadId tid_ = 0;
     runtime::Process *process_ = nullptr;
     CoreModel *core_ = nullptr;
+    OpSink *sink_ = nullptr;
 
     sim::GuestTask root_;
     std::coroutine_handle<> resume_ = nullptr;

@@ -7,6 +7,8 @@
 
 #include "base/logging.hh"
 #include "sim/sweep.hh"
+#include "workloads/replay/capture.hh"
+#include "workloads/replay/replayer.hh"
 
 namespace ccsvm::system
 {
@@ -96,9 +98,10 @@ CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     buildNodes();
 
     // The barrier hook is pure observability cost: only installed
-    // when something consumes it.
+    // when something consumes it (tracing, sampling, trace capture).
     nextSample_ = cfg_.sampleInterval;
-    if (stats_.tracer().anyEnabled() || cfg_.sampleInterval > 0) {
+    if (stats_.tracer().anyEnabled() || cfg_.sampleInterval > 0 ||
+        !cfg_.captureOut.empty()) {
         engine_.setBarrierHook([this](Tick base, Tick end) {
             onWindowBarrier(base, end);
         });
@@ -113,6 +116,12 @@ CcsvmMachine::onWindowBarrier(Tick base, Tick end)
         trc.complete(sim::traceEngine, engineLane_, "window", base,
                      end, 0, false);
     trc.flush();
+
+    // Window barriers run single-threaded on a schedule independent
+    // of the worker count, so flushing here keeps the capture file
+    // byte-identical at any simThreads value.
+    if (capture_)
+        capture_->atBarrier();
 
     if (cfg_.sampleInterval > 0 && base >= nextSample_) {
         Sample s;
@@ -256,6 +265,12 @@ CcsvmMachine::spawnCpuThread(int cpu_idx, runtime::Process &proc,
     const core::KernelFn &stored_fn = thread->fn;
     cpuThreads_.push_back(std::move(thread));
     ref.bind(proc.allocTid(), &proc, cpuCores_[cpu_idx].get());
+    // Set the sink unconditionally so threads spawned outside the
+    // captured runMain never inherit one.
+    ref.setSink(capture_ && capture_->armed()
+                    ? capture_->cpuStream(
+                          static_cast<unsigned>(cpu_idx))
+                    : nullptr);
     cpuCores_[cpu_idx]->runThread(ref, stored_fn(ref, args),
                                   std::move(on_done));
 }
@@ -265,6 +280,29 @@ CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
                       vm::VAddr args)
 {
     const Tick start = engine_.now();
+    if (!cfg_.captureOut.empty()) {
+        // Arm at the start of the (single) captured run: the premap
+        // snapshot must see exactly the host-side init mappings, and
+        // a second captured runMain would corrupt the stream keys.
+        ccsvm_assert(!capture_,
+                     "trace capture supports a single runMain per "
+                     "machine");
+        ccsvm_assert(processes_.size() == 1 &&
+                         processes_.front().get() == &proc,
+                     "trace capture requires the traced process to "
+                     "be the machine's only process");
+        capture_ = std::make_unique<workloads::replay::TraceCapture>(
+            workloads::replay::shapeOf(cfg_), cfg_.captureOut,
+            static_cast<unsigned>(cfg_.numCpuCores));
+        capture_->arm(proc, phys_);
+        for (auto &mc : mttopCores_) {
+            mc->setCaptureHook(
+                [this](const core::TaskDescriptor &desc,
+                       ThreadId tid) {
+                    return capture_->mttopStream(desc, tid);
+                });
+        }
+    }
     bool done = false;
     spawnCpuThread(0, proc, std::move(fn), args, [&] { done = true; });
     const bool finished = engine_.runUntil([&] { return done; });
@@ -287,6 +325,11 @@ CcsvmMachine::runMain(runtime::Process &proc, core::KernelFn fn,
         ccsvm_warn("runMain: events still pending after the "
                    "post-main quiesce window; functional reads may "
                    "see stale data");
+    }
+    if (capture_ && capture_->armed()) {
+        for (auto &mc : mttopCores_)
+            mc->setCaptureHook({});
+        capture_->finalize();
     }
     return ticks;
 }

@@ -38,6 +38,11 @@
 #include "vm/kernel.hh"
 #include "vm/walker.hh"
 
+namespace ccsvm::workloads::replay
+{
+class TraceCapture;
+} // namespace ccsvm::workloads::replay
+
 namespace ccsvm::system
 {
 
@@ -112,6 +117,16 @@ struct CcsvmConfig
     Tick sampleInterval = 0;
 
     /**
+     * Record the guest-side op stream of runMain into this `.ccsvmt`
+     * trace file (driver flag --capture-out; docs/TRACE_FORMAT.md);
+     * empty = off. Capture is a pure host-side observer: the run's
+     * stats are byte-identical to an uncaptured run, and the file is
+     * byte-identical at any simThreads value. Replay it with the
+     * `replay` workload.
+     */
+    std::string captureOut;
+
+    /**
      * Host worker threads for the partitioned event engine:
      *   -1 = consult the CCSVM_SIM_THREADS environment variable
      *        (absent or invalid -> 1),
@@ -168,6 +183,8 @@ class CcsvmMachine : public runtime::FunctionalMem
 
     /** Committed simulated time (base of the last engine window). */
     Tick now() const { return engine_.now(); }
+    /** The configuration this machine was built with. */
+    const CcsvmConfig &config() const { return cfg_; }
     /** The partitioned engine (bench/diagnostic access). */
     sim::PartEngine &engine() { return engine_; }
     sim::StatRegistry &stats() { return stats_; }
@@ -279,6 +296,9 @@ class CcsvmMachine : public runtime::FunctionalMem
     std::vector<Sample> samples_;
     Tick nextSample_ = 0;
     int engineLane_ = 0;
+
+    /** Trace capture (cfg_.captureOut); armed by the first runMain. */
+    std::unique_ptr<workloads::replay::TraceCapture> capture_;
 };
 
 } // namespace ccsvm::system

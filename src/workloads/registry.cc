@@ -7,6 +7,8 @@
 
 #include "workloads/registry.hh"
 
+#include "workloads/replay/replayer.hh"
+
 namespace ccsvm::workloads
 {
 
@@ -44,6 +46,16 @@ WorkloadRegistry::WorkloadRegistry()
              return spmmXthreads(m, sp);
          },
          [](const WorkloadParams &p) { return p.spmm.seed; }});
+
+    entries_.push_back(
+        {"replay",
+         "re-issue a captured .ccsvmt op stream "
+         "(docs/TRACE_FORMAT.md)",
+         {"--trace"},
+         [](system::CcsvmMachine &m, const WorkloadParams &p) {
+             return replay::runReplay(m, p.replayTrace);
+         },
+         {}});
 
     // The synthetic coherence-traffic patterns, one entry each so a
     // pattern is a first-class --workload name (synth:padded, ...).

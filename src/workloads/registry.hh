@@ -49,6 +49,10 @@ struct WorkloadParams
      * Off by default so unannotated runs stay bit-identical to the
      * region-unaware simulator. */
     bool regionHints = false;
+
+    /** `.ccsvmt` trace file for the replay workload (driver flag
+     * --trace; see docs/TRACE_FORMAT.md). */
+    std::string replayTrace;
 };
 
 /** One selectable workload. */

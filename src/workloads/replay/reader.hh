@@ -1,0 +1,81 @@
+/**
+ * @file
+ * `.ccsvmt` trace reader: parses a capture file back into decoded,
+ * per-stream record lists (docs/TRACE_FORMAT.md). Used by the replay
+ * workload, the `ccsvm-trace` tool, and the tests.
+ *
+ * All parse failures throw std::runtime_error with a distinct,
+ * greppable message prefix: "bad magic", "unsupported trace version",
+ * "truncated trace", "checksum mismatch", "malformed trace".
+ */
+
+#ifndef CCSVM_WORKLOADS_REPLAY_READER_HH
+#define CCSVM_WORKLOADS_REPLAY_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/page_table.hh"
+#include "workloads/replay/trace_format.hh"
+
+namespace ccsvm::workloads::replay
+{
+
+/** Decoded trace header. */
+struct TraceInfo
+{
+    std::uint32_t version = 0;
+    TraceShape shape;
+};
+
+/** One decoded record, fat form (all fields materialized). */
+struct TraceRecord
+{
+    RecKind kind = RecKind::Compute;
+    Tick tick = 0;   ///< absolute issue tick
+    vm::VAddr va = 0;
+    unsigned size = 8;
+    std::uint8_t attr = attrNone;   ///< AttrCode at capture time
+    std::uint8_t attrProtocol = 0;  ///< with attrOverride
+    std::uint64_t wdata = 0;        ///< Store
+    std::uint8_t amoOp = 0;         ///< Amo
+    std::uint64_t operand = 0;      ///< Amo
+    std::uint64_t operand2 = 0;     ///< Amo
+    std::uint64_t count = 0;        ///< Compute n / Stall ticks
+    // Launch fields.
+    std::uint64_t launchId = 0;
+    ThreadId firstTid = 0;
+    ThreadId lastTid = 0;
+    bool requireAll = true;
+    std::uint64_t args = 0;
+};
+
+/** One guest thread's record stream. */
+struct TraceStream
+{
+    StreamKind kind = StreamKind::Cpu;
+    std::uint64_t a = 0; ///< cpu: core index; mttop: launch id
+    std::uint64_t b = 0; ///< cpu: spawn sequence; mttop: thread id
+    std::vector<TraceRecord> records;
+};
+
+/** A fully parsed trace. */
+struct TraceData
+{
+    TraceInfo info;
+    std::vector<vm::MemRegion> regions;
+    std::vector<PremapEntry> premap; ///< frame-ascending
+    std::vector<TraceStream> streams; ///< in file (StreamDef) order
+    std::uint64_t totalRecords = 0;
+};
+
+/** Parse only the fixed header (cheap shape check). */
+TraceInfo readTraceInfo(const std::string &path);
+
+/** Parse and checksum-verify the whole file. */
+TraceData readTrace(const std::string &path);
+
+} // namespace ccsvm::workloads::replay
+
+#endif // CCSVM_WORKLOADS_REPLAY_READER_HH

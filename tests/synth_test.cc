@@ -204,7 +204,8 @@ TEST(Registry, EveryPaperWorkloadAndPatternIsRegistered)
         EXPECT_FALSE(e->summary.empty());
         EXPECT_TRUE(e->consumesFlag("--iters")) << name;
     }
-    EXPECT_EQ(reg.entries().size(), 4 + allPatterns.size());
+    EXPECT_NE(reg.find("replay"), nullptr);
+    EXPECT_EQ(reg.entries().size(), 5 + allPatterns.size());
     EXPECT_EQ(reg.find("nope"), nullptr);
     EXPECT_EQ(reg.find(""), nullptr);
 }

@@ -48,6 +48,8 @@
 #include "sim/sweep.hh"
 #include "system/ccsvm_machine.hh"
 #include "workloads/registry.hh"
+#include "workloads/replay/reader.hh"
+#include "workloads/replay/replayer.hh"
 
 namespace
 {
@@ -210,6 +212,14 @@ usage(const char *argv0, std::FILE *out = stdout)
         "                      sample counter totals every TICKS into "
         "a \"series\"\n"
         "                      section of the JSON (0 = off)\n"
+        "trace capture & replay (see README \"Trace capture & "
+        "replay\"):\n"
+        "  --capture-out FILE  record the guest memory-op stream to a "
+        ".ccsvmt\n"
+        "                      trace (single point only; format in "
+        "docs/TRACE_FORMAT.md)\n"
+        "  --trace FILE        the .ccsvmt trace --workload replay "
+        "re-issues\n"
         "  --verbose           keep simulator log output\n"
         "  --help              this text\n",
         argv0, reg.nameList(" | ").c_str(),
@@ -535,6 +545,11 @@ parseArgs(int argc, char **argv)
             o.jsonPath = next();
         } else if (arg == "--trace-out") {
             o.traceOut = next();
+        } else if (arg == "--capture-out") {
+            o.cfg.captureOut = next();
+        } else if (arg == "--trace") {
+            o.params.replayTrace = next();
+            wlFlag();
         } else if (arg == "--trace-categories") {
             o.traceCategories = next();
             unsigned mask = 0;
@@ -822,6 +837,46 @@ main(int argc, char **argv)
                      "the sweep axes (%zu points selected)\n",
                      points.size());
         return 2;
+    }
+    // Same story for op-stream capture: one trace file holds one run.
+    if (!o.cfg.captureOut.empty() && points.size() > 1) {
+        std::fprintf(stderr,
+                     "ccsvm: --capture-out records a single run; drop "
+                     "the sweep axes (%zu points selected)\n",
+                     points.size());
+        return 2;
+    }
+
+    // Validate replay points before simulating anything: a missing,
+    // corrupt or shape-mismatched trace is a CLI error (exit 2 with a
+    // diagnostic), not a mid-sweep exception.
+    for (const PointSpec &spec : points) {
+        if (spec.workload != "replay")
+            continue;
+        if (o.params.replayTrace.empty()) {
+            std::fprintf(stderr,
+                         "ccsvm: --workload replay needs --trace "
+                         "FILE\n");
+            return 2;
+        }
+        try {
+            const workloads::replay::TraceInfo info =
+                workloads::replay::readTraceInfo(o.params.replayTrace);
+            const std::string err = workloads::replay::shapeMismatch(
+                info.shape, workloads::replay::shapeOf(spec.cfg));
+            if (!err.empty()) {
+                std::fprintf(stderr,
+                             "ccsvm: trace '%s' does not match the "
+                             "configured machine shape: %s\n",
+                             o.params.replayTrace.c_str(),
+                             err.c_str());
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "ccsvm: cannot read trace '%s': %s\n",
+                         o.params.replayTrace.c_str(), e.what());
+            return 2;
+        }
     }
 
     // Simulate — on this thread for a single point (byte-identical to
