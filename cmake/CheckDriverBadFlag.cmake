@@ -49,7 +49,61 @@ foreach(flag --protocol --cpu-protocol --mttop-protocol)
   endif()
 endforeach()
 
-# --list-protocols must enumerate the same table, one name per line.
+# The bank-layer policy flags share the same validated-enum path.
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --slice-hash crc32
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --slice-hash exited ${rc}, want 2\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "--slice-hash" OR NOT err MATCHES "mod, xorfold, skew")
+  message(FATAL_ERROR "bad --slice-hash error does not name the flag "
+                      "and the accepted hashes:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --l2-replace plru
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --l2-replace exited ${rc}, want 2\n"
+                      "stdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "--l2-replace" OR NOT err MATCHES "lru, fifo, rand, region")
+  message(FATAL_ERROR "bad --l2-replace error does not name the flag "
+                      "and the accepted replacers:\n${err}")
+endif()
+
+# Geometry the cache arrays cannot index: zero or non-power-of-two
+# set counts must be rejected up front with a diagnostic, exit 2.
+foreach(geom "--l2-banks;0" "--l2-bank-kb;0" "--l2-bank-kb;3"
+             "--cpu-l1-kb;0")
+  execute_process(
+    COMMAND ${CCSVM_DRIVER} ${geom} --workload synth:false --iters 1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "bad geometry '${geom}' exited ${rc}, "
+                        "want 2\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --l2-bank-kb 3 --workload synth:false
+          --iters 1
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT err MATCHES "power of two")
+  message(FATAL_ERROR "non-power-of-two set count diagnostic does "
+                      "not say so:\n${err}")
+endif()
+
+# The --list flags must enumerate their tables, one name per line.
 execute_process(
   COMMAND ${CCSVM_DRIVER} --list-protocols
   RESULT_VARIABLE rc
@@ -61,6 +115,33 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT out MATCHES "msi\nmesi\nmoesi")
   message(FATAL_ERROR "--list-protocols output unexpected:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --list-slice-hashes
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-slice-hashes exited ${rc}\n"
+                      "stderr: ${err}")
+endif()
+if(NOT out MATCHES "mod\nxorfold\nskew")
+  message(FATAL_ERROR "--list-slice-hashes output unexpected:\n"
+                      "${out}")
+endif()
+
+execute_process(
+  COMMAND ${CCSVM_DRIVER} --list-replacers
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-replacers exited ${rc}\n"
+                      "stderr: ${err}")
+endif()
+if(NOT out MATCHES "lru\nfifo\nrand\nregion")
+  message(FATAL_ERROR "--list-replacers output unexpected:\n${out}")
 endif()
 
 # Flag missing its argument: exit 2.

@@ -121,6 +121,28 @@ for trace in traces/*.ccsvmt; do
     "$BUILD_DIR"/tools/ccsvm-trace validate "$trace"
 done
 
+# Bank-layer policy smoke: every home-slice hash x replacement policy
+# pair must run and validate on the conflict pattern (the bank
+# layer's worst case). Both lists come from the driver's own enum
+# tables (--list-slice-hashes / --list-replacers), so this loop
+# cannot drift when a policy is added. The quantitative assertions
+# (default-point byte-identity, occupancy skew, coherent-eviction
+# shielding, the replay matrix) live in the ccsvm_bank_sweep ctest,
+# which the full pass above already ran.
+SLICE_HASHES=$("$BUILD_DIR"/tools/ccsvm --list-slice-hashes)
+REPLACERS=$("$BUILD_DIR"/tools/ccsvm --list-replacers)
+[[ -n $SLICE_HASHES && -n $REPLACERS ]] || {
+    echo "ci.sh: empty --list-slice-hashes or --list-replacers" >&2
+    exit 1
+}
+for hash in $SLICE_HASHES; do
+    for replacer in $REPLACERS; do
+        echo "=== bank smoke: slice-hash=$hash l2-replace=$replacer ==="
+        "$BUILD_DIR"/tools/ccsvm --workload synth:conflict --iters 6 \
+            --slice-hash "$hash" --l2-replace "$replacer"
+    done
+done
+
 # Region-based coherence smoke: the per-workload default annotations
 # (synth:stream buffer -> bypass, matmul inputs -> read-mostly) and an
 # explicit whole-heap region must validate under every protocol. The

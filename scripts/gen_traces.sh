@@ -19,7 +19,7 @@ tool="$build/tools/ccsvm-trace"
 
 mkdir -p traces
 
-for pat in padded false hot migratory prodcons stream ptrchase readmostly; do
+for pat in padded false hot migratory prodcons stream ptrchase readmostly conflict; do
   "$driver" --workload "synth:$pat" --iters 12 \
             --capture-out "traces/synth_$pat.ccsvmt"
 done

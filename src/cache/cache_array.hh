@@ -1,6 +1,7 @@
 /**
  * @file
- * Generic set-associative cache array with true LRU replacement.
+ * Generic set-associative cache array with pluggable replacement
+ * (true LRU by default; see cache/replacer.hh).
  *
  * The array stores protocol-specific line types (L1 lines carry MOESI
  * state, L2 lines carry directory state); it owns only geometry,
@@ -18,6 +19,7 @@
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "cache/replacer.hh"
 #include "mem/phys_mem.hh"
 
 namespace ccsvm::cache
@@ -33,10 +35,13 @@ template <typename LineT>
 class CacheArray
 {
   public:
-    CacheArray(Addr size_bytes, unsigned assoc)
+    CacheArray(Addr size_bytes, unsigned assoc,
+               ReplacerKind replacer = ReplacerKind::Lru,
+               std::uint64_t replace_seed = 0)
         : assoc_(assoc),
           numSets_(static_cast<unsigned>(
-              size_bytes / mem::blockBytes / assoc))
+              size_bytes / mem::blockBytes / assoc)),
+          replacer_(replacer, replace_seed)
     {
         ccsvm_assert(assoc >= 1, "associativity must be >= 1");
         ccsvm_assert(isPowerOf2(numSets_),
@@ -46,6 +51,7 @@ class CacheArray
         ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
         for (auto &w : ways_)
             w.line.valid = false;
+        metas_.resize(assoc_);
     }
 
     unsigned numSets() const { return numSets_; }
@@ -92,6 +98,7 @@ class CacheArray
                 ways_[i].line.valid = true;
                 ways_[i].line.addr = block_addr;
                 ways_[i].lastUse = ++useClock_;
+                ways_[i].allocSeq = ++allocClock_;
                 return &ways_[i].line;
             }
         }
@@ -99,24 +106,33 @@ class CacheArray
     }
 
     /**
-     * Least-recently-used valid line in @p block_addr's set for which
-     * @p evictable returns true; nullptr if none qualifies.
+     * Replacement-policy victim in @p block_addr's set among the
+     * valid lines for which @p evictable returns true; nullptr if
+     * none qualifies. The default lru policy picks the
+     * least-recently-used such line, byte-identical to the pre-seam
+     * array (strict < scan in way order over the same use clock).
      */
     LineT *
     findVictim(Addr block_addr,
                const std::function<bool(const LineT &)> &evictable)
     {
         auto [base, end] = setRange(block_addr);
-        LineT *victim = nullptr;
-        std::uint64_t oldest = ~std::uint64_t(0);
         for (std::size_t i = base; i < end; ++i) {
-            auto &w = ways_[i];
-            if (w.line.valid && w.lastUse < oldest && evictable(w.line)) {
-                oldest = w.lastUse;
-                victim = &w.line;
-            }
+            const auto &w = ways_[i];
+            WayMeta &m = metas_[i - base];
+            m.candidate = w.line.valid && evictable(w.line);
+            m.preferEvict = false;
+            // Lines opt into the region policy's preference by
+            // exposing evictPreferred(); other line types never
+            // volunteer, so region degrades to lru for them.
+            if constexpr (requires { w.line.evictPreferred(); })
+                m.preferEvict = m.candidate && w.line.evictPreferred();
+            m.lastUse = w.lastUse;
+            m.allocSeq = w.allocSeq;
         }
-        return victim;
+        const int way = replacer_.victimWay(metas_.data(), assoc_,
+                                            setIndex(block_addr));
+        return way < 0 ? nullptr : &ways_[base + way].line;
     }
 
     /** Drop @p line from the array. */
@@ -151,6 +167,7 @@ class CacheArray
     {
         LineT line{};
         std::uint64_t lastUse = 0;
+        std::uint64_t allocSeq = 0;
     };
 
     std::pair<std::size_t, std::size_t>
@@ -173,7 +190,10 @@ class CacheArray
     unsigned assoc_;
     unsigned numSets_;
     std::uint64_t useClock_ = 0;
+    std::uint64_t allocClock_ = 0;
+    Replacer replacer_;
     std::vector<Way> ways_;
+    std::vector<WayMeta> metas_; ///< per-set scratch for findVictim
 };
 
 } // namespace ccsvm::cache

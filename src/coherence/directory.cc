@@ -28,7 +28,8 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
                                        : cfg.protocol)),
       bankId_(bank_id), numBanks_(num_banks),
       net_(&net), node_(my_node), dram_(&dram), phys_(&phys),
-      array_(cfg.bankSizeBytes, cfg.assoc),
+      array_(cfg.bankSizeBytes, cfg.assoc, cfg.replace,
+             cfg.replaceSeed + static_cast<std::uint64_t>(bank_id)),
       getS_(stats.counter(name + ".getS", "GetS requests processed")),
       getM_(stats.counter(name + ".getM", "GetM requests processed")),
       fetches_(stats.counter(name + ".fetches",
@@ -72,6 +73,23 @@ Directory::Directory(sim::EventQueue &eq, sim::StatRegistry &stats,
                                  "inclusive-eviction recalls")),
       stalls_(stats.counter(name + ".stalls",
                             "requests stalled on busy blocks")),
+      requests_(stats.counter(name + ".requests",
+                              "coherence requests accepted at this "
+                              "bank (incl. retries after recalls)")),
+      occupancy_(stats.counter(name + ".occupancy",
+                               "peak valid L2 lines (home-bank "
+                               "occupancy high-water mark)")),
+      conflictEvictions_(stats.counter(name + ".conflictEvictions",
+                                       "recalls started to free a "
+                                       "frame for an allocation")),
+      conflictEvictionsCoherent_(
+          stats.counter(name + ".conflictEvictions.coherent",
+                        "conflict evictions whose victim was a "
+                        "default-coherent line")),
+      dirLat_(stats.histogram("latency.dir.bank" +
+                                  std::to_string(bank_id),
+                              "home-bank transaction latency, "
+                              "request accepted to Unblock")),
       trc_(stats.tracer()), lane_(stats.tracer().lane(name))
 {}
 
@@ -213,11 +231,14 @@ Directory::stampRegion(L2Line &line, const CohMsg &msg)
 void
 Directory::handleMessage(CohMsg msg)
 {
+    // Both ends of the chip resolve the same SliceHash from the
+    // config; a mismatch would home blocks inconsistently.
     ccsvm_assert(
-        static_cast<int>((msg.blockAddr >> mem::blockShift) %
-                         numBanks_) == bankId_,
-        "block 0x%llx routed to wrong bank %d",
-        (unsigned long long)msg.blockAddr, bankId_);
+        sliceHash(cfg_.sliceHash).bankOf(msg.blockAddr, numBanks_) ==
+            bankId_,
+        "block 0x%llx routed to wrong bank %d (hash %s)",
+        (unsigned long long)msg.blockAddr, bankId_,
+        sliceHashName(cfg_.sliceHash));
 
     switch (msg.type) {
       case MsgType::GetS:
@@ -227,6 +248,7 @@ Directory::handleMessage(CohMsg msg)
       case MsgType::BypassRead:
       case MsgType::BypassWrite:
       case MsgType::BypassAmo: {
+        ++requests_;
         L2Line *line = array_.lookup(msg.blockAddr);
         if (line && line->busy) {
             ++stalls_;
@@ -674,6 +696,7 @@ Directory::processUnblock(CohMsg &msg)
     txns_.erase(it);
 
     // The home-side view of the transaction: accept to Unblock.
+    dirLat_.record(eq_->now() - txn.startTick);
     if (trc_.enabled(sim::traceCoh))
         trc_.complete(sim::traceCoh, lane_,
                       txn.req == MsgType::GetM ? "dir.GetM"
@@ -760,6 +783,11 @@ Directory::allocateAndFetch(CohMsg msg)
     line->dirty = false;
     stampRegion(*line, msg);
 
+    if (++occLevel_ > occPeak_) {
+        occupancy_ += occLevel_ - occPeak_;
+        occPeak_ = occLevel_;
+    }
+
     ++fetches_;
     ++(msg.region == RegionAttr::ProtocolOverride ? fetchesOverride_
                                                   : fetchesCoherent_);
@@ -798,6 +826,9 @@ void
 Directory::startRecall(L2Line *victim, CohMsg pending_msg)
 {
     ++recallsStat_;
+    ++conflictEvictions_;
+    if (victim->region == RegionAttr::Coherent)
+        ++conflictEvictionsCoherent_;
     victim->busy = true;
 
     Recall &rec = recalls_[victim->addr];
@@ -858,6 +889,8 @@ Directory::finishRecall(Addr victim_addr)
         dram_->access(true, mem::blockBytes, [] {});
     }
     array_.invalidate(line);
+    ccsvm_assert(occLevel_ > 0, "occupancy underflow");
+    --occLevel_;
 
     // Any puts stalled on the victim are now stale; let them retire.
     retryStalled(victim_addr);

@@ -33,8 +33,10 @@
 
 #include "base/types.hh"
 #include "cache/cache_array.hh"
+#include "cache/replacer.hh"
 #include "coherence/l1_cache.hh"
 #include "coherence/msgs.hh"
+#include "coherence/slice_hash.hh"
 #include "mem/dram.hh"
 #include "mem/phys_mem.hh"
 #include "noc/network.hh"
@@ -76,6 +78,18 @@ struct DirConfig
      * only the Unified Northbridge, not a cache (paper Sec. 2.3).
      */
     bool memoryResident = false;
+
+    /** Home-slice hash; must match the L1 controllers' (and the
+     * machine's functional accessors') so every site agrees on each
+     * block's home bank. The bank only asserts it, it never routes. */
+    SliceHashKind sliceHash = SliceHashKind::Mod;
+
+    /** L2/directory-entry replacement policy for victim selection. */
+    cache::ReplacerKind replace = cache::ReplacerKind::Lru;
+
+    /** Seed for stochastic replacement (rand); each bank offsets it
+     * by its bank id so banks draw independent victim streams. */
+    std::uint64_t replaceSeed = 0x2545F4914F6CDD1Dull;
 };
 
 /** One L2 bank with embedded directory state. */
@@ -131,6 +145,15 @@ class Directory
         RegionAttr region = RegionAttr::Coherent;
         Protocol regionProt{};
         std::array<std::uint8_t, mem::blockBytes> data{};
+
+        /** The region replacement policy's preference hook: lines a
+         * workload marked non-default (bypass-adjacent or
+         * protocol-override/read-mostly) volunteer for eviction
+         * before hard-earned default-coherent lines. */
+        bool evictPreferred() const
+        {
+            return region != RegionAttr::Coherent;
+        }
     };
 
     /** Open Get transaction, closed by Unblock. */
@@ -245,6 +268,24 @@ class Directory
     sim::Counter &invsSentOverride_;
     sim::Counter &recallsStat_;
     sim::Counter &stalls_;
+    /** Coherence requests accepted at this bank (Get/Put/Bypass
+     * arrivals, including retries after a recall frees their frame) —
+     * the per-bank load-balance view of the slice hash. */
+    sim::Counter &requests_;
+    /** High-water mark of valid lines in this bank — the per-bank
+     * capacity-balance view of the slice hash. */
+    sim::Counter &occupancy_;
+    /** Set-conflict evictions: recalls started to free a frame for an
+     * allocation, total and split for victims that were
+     * default-coherent lines (what the region replacer protects). */
+    sim::Counter &conflictEvictions_;
+    sim::Counter &conflictEvictionsCoherent_;
+    /** Home-side transaction latency (request accepted to Unblock). */
+    sim::LatencyHistogram &dirLat_;
+
+    /** Current/peak valid-line levels behind occupancy_. */
+    unsigned occLevel_ = 0;
+    unsigned occPeak_ = 0;
 
     sim::Tracer &trc_;
     int lane_;

@@ -25,6 +25,7 @@ L1Controller::L1Controller(sim::EventQueue &eq, sim::StatRegistry &stats,
                            L1Id id, noc::Network &net,
                            noc::NodeId my_node, SwmrMonitor *monitor)
     : eq_(&eq), cfg_(cfg), policy_(&protocolPolicy(cfg.protocol)),
+      sliceHash_(&sliceHash(cfg.sliceHash)),
       id_(id), net_(&net), node_(my_node),
       monitor_(monitor), array_(cfg.sizeBytes, cfg.assoc),
       hits_(stats.counter(name + ".hits", "L1 accesses hitting")),
@@ -75,7 +76,8 @@ L1Controller::connectPeers(std::vector<L1Ref> peers)
 DirRef &
 L1Controller::bankFor(Addr block_addr)
 {
-    const auto bank = (block_addr >> mem::blockShift) % banks_.size();
+    const int bank = sliceHash_->bankOf(
+        block_addr, static_cast<int>(banks_.size()));
     return banks_[bank];
 }
 

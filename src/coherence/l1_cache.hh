@@ -28,6 +28,7 @@
 #include "coherence/msgs.hh"
 #include "coherence/monitor.hh"
 #include "coherence/protocol.hh"
+#include "coherence/slice_hash.hh"
 #include "noc/network.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
@@ -67,6 +68,9 @@ struct L1Config
      * directory banks believe about this L1's cluster (DirConfig's
      * protocol, or cpuProtocol/mttopProtocol under a cluster split). */
     Protocol protocol = Protocol::MOESI;
+    /** Home-slice hash used by bankFor to route every request; must
+     * match the directory banks' (DirConfig::sliceHash). */
+    SliceHashKind sliceHash = SliceHashKind::Mod;
 };
 
 /** One L1 cache controller. */
@@ -220,6 +224,7 @@ class L1Controller
     sim::EventQueue *eq_;
     L1Config cfg_;
     const ProtocolPolicy *policy_;
+    const SliceHash *sliceHash_;
     L1Id id_;
     noc::Network *net_;
     noc::NodeId node_;

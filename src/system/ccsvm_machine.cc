@@ -60,6 +60,15 @@ CcsvmMachine::CcsvmMachine(CcsvmConfig cfg)
     cfg_.l2.mttopProtocol = mttop_p;
     cfg_.l2.firstMttopL1 = cfg_.numCpuCores;
 
+    // Home-slice hash and L2 replacement policy: every
+    // address-to-bank site (L1 bankFor, bank asserts, functional
+    // accessors) and every bank's victim selection resolve from the
+    // one chip-wide setting.
+    cfg_.cpuL1.sliceHash = cfg_.sliceHash;
+    cfg_.mttopL1.sliceHash = cfg_.sliceHash;
+    cfg_.l2.sliceHash = cfg_.sliceHash;
+    cfg_.l2.replace = cfg_.l2Replace;
+
     dram_ = std::make_unique<mem::DramCtrl>(sysQ(), stats_, "dram",
                                             cfg_.dram);
 
@@ -373,8 +382,10 @@ CcsvmMachine::funcRead(Addr pa, void *dst, unsigned len)
         }
         // ...then the L2 copy...
         if (!found) {
-            auto &bank =
-                banks_[(block >> mem::blockShift) % banks_.size()];
+            auto &bank = banks_[coherence::sliceHash(cfg_.sliceHash)
+                                    .bankOf(block,
+                                            static_cast<int>(
+                                                banks_.size()))];
             found = bank->funcReadBlock(block, buf);
         }
         // ...then physical memory.
@@ -402,7 +413,8 @@ CcsvmMachine::funcWrite(Addr pa, const void *src, unsigned len)
         phys_.write(pa, in, chunk);
         for (auto &l1 : l1s_)
             l1->funcWriteBlock(block, off, in, chunk);
-        banks_[(block >> mem::blockShift) % banks_.size()]
+        banks_[coherence::sliceHash(cfg_.sliceHash)
+                   .bankOf(block, static_cast<int>(banks_.size()))]
             ->funcWriteBlock(block, off, in, chunk);
 
         pa += chunk;

@@ -68,6 +68,23 @@ struct CcsvmConfig
     std::optional<coherence::Protocol> cpuProtocol;
     std::optional<coherence::Protocol> mttopProtocol;
 
+    /**
+     * Home-slice hash mapping block addresses to L2/directory banks
+     * (driver flag --slice-hash). Propagated into every L1's bankFor,
+     * each bank's wrong-bank assert and the machine's functional
+     * accessors, so every site resolves the same policy. The default
+     * (mod) is byte-identical to the pre-seam tree; xorfold/skew
+     * spread power-of-two strides that hot-spot one bank under mod.
+     */
+    coherence::SliceHashKind sliceHash = coherence::SliceHashKind::Mod;
+
+    /**
+     * L2/directory-entry replacement policy (driver flag
+     * --l2-replace). The default (lru) is byte-identical to the
+     * pre-seam tree; see cache/replacer.hh for fifo/rand/region.
+     */
+    cache::ReplacerKind l2Replace = cache::ReplacerKind::Lru;
+
     core::CpuCoreConfig cpu;
     core::MttopCoreConfig mttop;
 

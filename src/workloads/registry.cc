@@ -88,6 +88,11 @@ WorkloadRegistry::WorkloadRegistry()
             flags.push_back("--stride");
             flags.push_back("--seed");
             break;
+          case synth::Pattern::Conflict:
+            // --sharing = conflicting lines per thread; the stride is
+            // derived from the machine's L2 geometry, not a flag.
+            flags.push_back("--sharing");
+            break;
         }
         entries_.push_back(
             {std::string("synth:") + synth::patternName(pat),

@@ -203,6 +203,7 @@ TraceCapture::arm(runtime::Process &proc, mem::PhysMem &phys)
     h.push_back(shape_.protocol);
     h.push_back(shape_.cpuProtocol);
     h.push_back(shape_.mttopProtocol);
+    h.push_back(shape_.sliceHash);
     h.resize(traceHeaderBytes, 0);
     writeVec(h);
 

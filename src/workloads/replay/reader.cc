@@ -142,6 +142,10 @@ parseHeader(Cursor &c)
     s.protocol = c.u8();
     s.cpuProtocol = c.u8();
     s.mttopProtocol = c.u8();
+    // Formerly reserved; pre-hash traces carry 0 here, which decodes
+    // to mod — the only hash those traces could have been captured
+    // under.
+    s.sliceHash = c.u8();
     // Reserved tail of the fixed header (and any version-compatible
     // extension up to headerBytes).
     c.skip(header_bytes - c.pos());

@@ -106,6 +106,7 @@ shapeOf(const system::CcsvmConfig &cfg)
         cfg.cpuProtocol.value_or(cfg.protocol));
     s.mttopProtocol = static_cast<std::uint8_t>(
         cfg.mttopProtocol.value_or(cfg.protocol));
+    s.sliceHash = static_cast<std::uint8_t>(cfg.sliceHash);
     return s;
 }
 

@@ -97,6 +97,12 @@ struct TraceShape
     std::uint8_t protocol = 0;      ///< echoed, not checked
     std::uint8_t cpuProtocol = 0;   ///< echoed, not checked
     std::uint8_t mttopProtocol = 0; ///< echoed, not checked
+    /** Home-slice hash (SliceHashKind) at capture time; echoed, not
+     * checked, exactly like the protocol fields — a fixed stimulus may
+     * be replayed under any hash. Occupies a formerly-reserved header
+     * byte, so a pre-hash trace reads back 0 (= mod, the only hash
+     * that existed then) and the version number is unchanged. */
+    std::uint8_t sliceHash = 0;
 };
 
 /**

@@ -50,6 +50,7 @@ patternName(Pattern p)
       case Pattern::Stream: return "stream";
       case Pattern::PtrChase: return "ptrchase";
       case Pattern::ReadMostly: return "readmostly";
+      case Pattern::Conflict: return "conflict";
     }
     return "?";
 }
@@ -91,6 +92,9 @@ patternSummary(Pattern p)
         return "private pointer-ring walk (dependent-load latency)";
       case Pattern::ReadMostly:
         return "shared lines, configurable read/write ratio";
+      case Pattern::Conflict:
+        return "same-set same-bank private lines (conflict/recall "
+               "stressor)";
     }
     return "?";
 }
@@ -174,6 +178,7 @@ struct Geometry
             return Addr(pairs + (leftover ? 1 : 0)) * lineB;
           case Pattern::Stream:
           case Pattern::PtrChase:
+          case Pattern::Conflict:
             return Addr(p.threads) * chunkBytes;
           case Pattern::ReadMostly:
             return Addr(sharedLines) * lineB;
@@ -203,6 +208,11 @@ makeGeometry(const SynthParams &in, unsigned max_threads)
     const Addr min_chunk = g.p.strideBytes;
     g.chunkBytes = std::max<Addr>(
         in.footprintBytes / g.p.threads, min_chunk);
+    // Conflict sizes its chunk from the line count, not the
+    // footprint: sharingDegree lines per thread, one set-stride
+    // apart, so every line in the region lands in the same set.
+    if (g.p.pattern == Pattern::Conflict)
+        g.chunkBytes = Addr(g.p.sharingDegree) * g.p.strideBytes;
     // The chunk size travels to the guest kernel through a u32 arg
     // slot; clamp so a giant --footprint-kb cannot silently truncate
     // into a host/guest geometry mismatch.
@@ -490,6 +500,9 @@ synthKernel(ThreadContext &ctx, VAddr args)
         break;
       }
       case Pattern::Stream:
+      case Pattern::Conflict:
+        // Conflict is a stream sweep whose stride was chosen by the
+        // host so every visited line shares one set of one home bank.
         co_await streamBody(ctx, region + Addr(tid) * chunk,
                             chunk / stride, stride, iters, result);
         break;
@@ -609,7 +622,8 @@ verify(runtime::Process &proc, const Geometry &g, VAddr region,
         return true;
       }
 
-      case Pattern::Stream: {
+      case Pattern::Stream:
+      case Pattern::Conflict: {
         const std::uint64_t expect_sum =
             static_cast<std::uint64_t>(g.wordsPerThread) * p.iters *
             (p.iters - 1) / 2;
@@ -685,7 +699,23 @@ synthXthreads(system::CcsvmMachine &m, const SynthParams &in)
     const unsigned max_contexts =
         static_cast<unsigned>(m.numMttopCores()) *
         m.mttopCore(0).totalContexts();
-    const Geometry g = makeGeometry(in, max_contexts);
+    SynthParams params = in;
+    if (in.pattern == Pattern::Conflict) {
+        // The conflict stride is a machine property, not a knob: one
+        // set-stride of the L2 bank array times enough banks that
+        // consecutive lines keep both the same set index and (under
+        // the default mod slice hash) the same home bank. Both
+        // factors are powers of two, so max() is their lcm.
+        const auto &l2 = m.config().l2;
+        const Addr sets = l2.bankSizeBytes / mem::blockBytes /
+                          std::max(l2.assoc, 1u);
+        const Addr stride_blocks = std::max<Addr>(
+            std::max<Addr>(sets, 1),
+            static_cast<Addr>(m.config().numL2Banks));
+        params.strideBytes =
+            static_cast<unsigned>(stride_blocks * mem::blockBytes);
+    }
+    const Geometry g = makeGeometry(params, max_contexts);
     const SynthParams &p = g.p;
 
     runtime::Process &proc = m.createProcess();
@@ -727,8 +757,17 @@ synthXthreads(system::CcsvmMachine &m, const SynthParams &in)
 
     // Host-side init: zero everything, then the pattern's seeds.
     // Pokes are functional (no simulated time), so the measured
-    // region is pure pattern traffic.
-    for (Addr off = 0; off < g.regionBytes(); off += 8)
+    // region is pure pattern traffic. The conflict region is almost
+    // entirely padding between its widely-strided lines; poking one
+    // word per page (or per line when the stride is sub-page) still
+    // zeroes every word the guest touches while keeping the region's
+    // frames bump-allocated in VA order — which is what makes the VA
+    // set-stride a PA set-stride.
+    const Addr init_step =
+        p.pattern == Pattern::Conflict
+            ? std::min<Addr>(p.strideBytes, mem::pageBytes)
+            : 8;
+    for (Addr off = 0; off < g.regionBytes(); off += init_step)
         proc.poke<std::uint64_t>(region + off, 0);
     for (unsigned t = 0; t < p.threads; ++t) {
         proc.poke<std::uint64_t>(results + Addr(t) * lineB, 0);

@@ -27,6 +27,13 @@
  *               ring (dependent-load latency; no MLP)
  *   readmostly  a shared read-mostly line set with a configurable
  *               read/write ratio (atomic writers, wide invalidations)
+ *   conflict    every thread sweeps private lines that all map to the
+ *               SAME set of the SAME home bank under the default mod
+ *               slice hash (stride = set-stride x bank count): a
+ *               pathological set-conflict stressor that drives L2
+ *               conflict evictions/recalls, and the workload the
+ *               slice-hash ablation uses to show xorfold/skew
+ *               spreading the hot bank
  *
  * Every pattern has a host golden model, so RunResult::correct stays
  * as meaningful as it is for the paper workloads: the guest threads
@@ -56,12 +63,13 @@ enum class Pattern : std::uint8_t
     Stream,
     PtrChase,
     ReadMostly,
+    Conflict,
 };
 
-inline constexpr std::array<Pattern, 8> allPatterns = {
+inline constexpr std::array<Pattern, 9> allPatterns = {
     Pattern::Padded,    Pattern::FalseShare, Pattern::Hot,
     Pattern::Migratory, Pattern::ProdCons,   Pattern::Stream,
-    Pattern::PtrChase,  Pattern::ReadMostly,
+    Pattern::PtrChase,  Pattern::ReadMostly, Pattern::Conflict,
 };
 
 /** Lower-case pattern name as used in workload names
@@ -100,12 +108,14 @@ struct SynthParams
     Addr footprintBytes = 64 * 1024;
 
     /** Access stride for stream/ptrchase (>= 8, multiple of 8;
-     * default one access per cache line). */
+     * default one access per cache line). The conflict pattern
+     * ignores this and derives its stride from the machine's L2
+     * geometry so its lines collide in one set of one bank. */
     unsigned strideBytes = 64;
 
     /** Sharing degree: threads per line for false sharing (clamped
      * to the 8 u64 words a 64-byte line holds), shared lines for
-     * readmostly. */
+     * readmostly, conflicting lines per thread for conflict. */
     unsigned sharingDegree = 8;
 
     /** Seed for the ptrchase permutation. */

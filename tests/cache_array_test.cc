@@ -12,6 +12,7 @@
 
 #include "base/random.hh"
 #include "cache/cache_array.hh"
+#include "cache/replacer.hh"
 
 namespace ccsvm::cache
 {
@@ -134,6 +135,166 @@ INSTANTIATE_TEST_SUITE_P(
         return std::to_string(info.param.sizeBytes) + "B_" +
                std::to_string(info.param.assoc) + "way";
     });
+
+// --- replacement-policy seam -----------------------------------------
+
+/** The inline LRU scan findVictim used before the Replacer seam:
+ * way order, strictly-smaller lastUse wins, candidates only. */
+int
+legacyLruScan(const std::vector<WayMeta> &metas)
+{
+    int victim = -1;
+    std::uint64_t best = 0;
+    for (std::size_t w = 0; w < metas.size(); ++w) {
+        if (!metas[w].candidate)
+            continue;
+        if (victim < 0 || metas[w].lastUse < best) {
+            victim = static_cast<int>(w);
+            best = metas[w].lastUse;
+        }
+    }
+    return victim;
+}
+
+TEST(Replacer, LruMatchesTheLegacyScanOnRandomMetas)
+{
+    Replacer lru(ReplacerKind::Lru);
+    Random rng(0x12abcdefull);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const unsigned assoc = 1u + static_cast<unsigned>(
+                                        rng.below(16));
+        std::vector<WayMeta> metas(assoc);
+        for (auto &m : metas) {
+            m.candidate = rng.below(4) != 0;
+            // Duplicate lastUse values on purpose: ties must resolve
+            // to the lowest way index, as the legacy scan did.
+            m.lastUse = rng.below(8);
+            m.allocSeq = rng.below(1000);
+        }
+        EXPECT_EQ(lru.victimWay(metas.data(), assoc,
+                                static_cast<unsigned>(trial % 64)),
+                  legacyLruScan(metas))
+            << "trial " << trial;
+    }
+}
+
+TEST(Replacer, LruSeamIsChurnIdenticalThroughTheArray)
+{
+    // Two arrays, default-constructed vs explicit lru, driven by one
+    // churn sequence: every victim choice must match, which is the
+    // byte-identity the default configuration's stats rest on.
+    CacheArray<TestLine> implicit(1024, 4);
+    CacheArray<TestLine> explicit_lru(1024, 4, ReplacerKind::Lru);
+    Random rng(2026);
+    for (int op = 0; op < 4000; ++op) {
+        const Addr addr = rng.below(8 * 1024) & ~Addr(63);
+        TestLine *a = implicit.lookup(addr);
+        TestLine *b = explicit_lru.lookup(addr);
+        ASSERT_EQ(a == nullptr, b == nullptr) << "op " << op;
+        if (a) {
+            implicit.touch(a);
+            explicit_lru.touch(b);
+            continue;
+        }
+        TestLine *va = implicit.findVictim(
+            addr, [](const TestLine &) { return true; });
+        TestLine *vb = explicit_lru.findVictim(
+            addr, [](const TestLine &) { return true; });
+        ASSERT_EQ(va == nullptr, vb == nullptr) << "op " << op;
+        if (va) {
+            ASSERT_EQ(va->addr, vb->addr) << "op " << op;
+            implicit.invalidate(va);
+            explicit_lru.invalidate(vb);
+        }
+        ASSERT_NE(implicit.allocate(addr), nullptr);
+        ASSERT_NE(explicit_lru.allocate(addr), nullptr);
+    }
+}
+
+TEST(Replacer, FifoEvictsInAllocationOrder)
+{
+    CacheArray<TestLine> arr(256, 4, ReplacerKind::Fifo); // one set
+    for (int i = 0; i < 4; ++i)
+        arr.allocate(static_cast<Addr>(i) * 64);
+    // Recency must not matter: touch the oldest line hard...
+    for (int t = 0; t < 8; ++t)
+        arr.touch(arr.lookup(0));
+    const auto all = [](const TestLine &) { return true; };
+    // ...and it is still the victim, then line 1, then line 2.
+    for (unsigned expect = 0; expect < 3; ++expect) {
+        TestLine *v = arr.findVictim(0x1000, all);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->addr, Addr(expect) * 64);
+        arr.invalidate(v);
+        arr.allocate(0x1000 + Addr(expect) * 64);
+    }
+    // The replacement lines now queue behind line 3.
+    TestLine *v = arr.findVictim(0x2000, all);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->addr, 3u * 64);
+}
+
+TEST(Replacer, RandIsDeterministicPerSeedAndPicksCandidates)
+{
+    Replacer a(ReplacerKind::Rand, 42);
+    Replacer b(ReplacerKind::Rand, 42);
+    Replacer c(ReplacerKind::Rand, 43);
+    Random rng(7);
+    bool seeds_diverged = false;
+    for (int trial = 0; trial < 1000; ++trial) {
+        const unsigned assoc = 1u + static_cast<unsigned>(
+                                        rng.below(16));
+        const unsigned set = static_cast<unsigned>(rng.below(32));
+        std::vector<WayMeta> metas(assoc);
+        bool any = false;
+        for (auto &m : metas) {
+            m.candidate = rng.below(3) != 0;
+            any |= m.candidate;
+        }
+        const int va = a.victimWay(metas.data(), assoc, set);
+        const int vb = b.victimWay(metas.data(), assoc, set);
+        const int vc = c.victimWay(metas.data(), assoc, set);
+        // Same seed, same call sequence: identical picks.
+        ASSERT_EQ(va, vb) << "trial " << trial;
+        if (va != vc)
+            seeds_diverged = true;
+        if (!any) {
+            EXPECT_EQ(va, -1);
+        } else {
+            ASSERT_GE(va, 0);
+            EXPECT_TRUE(metas[static_cast<unsigned>(va)].candidate);
+        }
+    }
+    EXPECT_TRUE(seeds_diverged) << "seed does not reach the LCG";
+}
+
+/** A line type that opts into region-preferred eviction. */
+struct RegionTestLine
+{
+    Addr addr = invalidAddr;
+    bool valid = false;
+    bool preferred = false;
+    bool evictPreferred() const { return preferred; }
+};
+
+TEST(Replacer, RegionPrefersStampedLinesThenFallsBackToLru)
+{
+    CacheArray<RegionTestLine> arr(256, 4, ReplacerKind::Region);
+    for (int i = 0; i < 4; ++i)
+        arr.allocate(static_cast<Addr>(i) * 64);
+    // Stamp lines 1 and 2 as evict-preferred; line 1 is older, so it
+    // must go first, then 2, and only then the LRU coherent line 0.
+    arr.lookup(1 * 64)->preferred = true;
+    arr.lookup(2 * 64)->preferred = true;
+    const auto all = [](const RegionTestLine &) { return true; };
+    const Addr expect[] = {1 * 64, 2 * 64, 0 * 64, 3 * 64};
+    for (const Addr want : expect) {
+        RegionTestLine *v = arr.findVictim(0x1000, all);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->addr, want);
+        arr.invalidate(v);
+    }
+}
 
 TEST(CacheArray, VictimPredicateIsHonoured)
 {

@@ -43,7 +43,9 @@
 #include <string>
 #include <vector>
 
+#include "cache/replacer.hh"
 #include "coherence/protocol.hh"
+#include "coherence/slice_hash.hh"
 #include "sim/stats.hh"
 #include "sim/sweep.hh"
 #include "system/ccsvm_machine.hh"
@@ -65,9 +67,15 @@ struct DriverOptions
      * the config default, a single protocol behaves exactly like the
      * historical single-valued flag. */
     std::vector<coherence::Protocol> protocols;
+    /** Home-slice hash axis (--slice-hash accepts a comma list);
+     * empty = the config default (mod). */
+    std::vector<coherence::SliceHashKind> sliceHashes;
+    /** L2 replacement-policy axis (--l2-replace accepts a comma
+     * list); empty = the config default (lru). */
+    std::vector<cache::ReplacerKind> replacers;
     /** Sweep worker threads (--jobs): 0 = hardware concurrency,
      * 1 = the historical sequential order. Only sweeps (more than
-     * one workload x protocol point) spawn workers at all. */
+     * one grid point) spawn workers at all. */
     unsigned jobs = 0;
 
     workloads::WorkloadParams params;
@@ -182,6 +190,20 @@ usage(const char *argv0, std::FILE *out = stdout)
         "  --cpu-l1-kb K       CPU L1 size (default 64)\n"
         "  --mttop-l1-kb K     MTTOP L1 size (default 16)\n"
         "  --l2-bank-kb K      per-bank L2 size (default 1024)\n"
+        "  --slice-hash H[,H..]\n"
+        "                      home-slice (bank-select) hash: %s\n"
+        "                      (default mod; a comma list sweeps the "
+        "hash axis;\n"
+        "                      see README \"Sharded home banks\")\n"
+        "  --list-slice-hashes\n"
+        "                      list every slice-hash name, one per "
+        "line\n"
+        "  --l2-replace R[,R..]\n"
+        "                      L2/directory replacement policy: %s\n"
+        "                      (default lru; a comma list sweeps the "
+        "replacer axis)\n"
+        "  --list-replacers    list every replacement-policy name, "
+        "one per line\n"
         "  --dram-ns N         flat DRAM latency (default 100)\n"
         "  --no-swmr           disable the SWMR checker (faster host "
         "run)\n"
@@ -223,7 +245,9 @@ usage(const char *argv0, std::FILE *out = stdout)
         "  --verbose           keep simulator log output\n"
         "  --help              this text\n",
         argv0, reg.nameList(" | ").c_str(),
-        coherence::protocolNameList(" | ").c_str());
+        coherence::protocolNameList(" | ").c_str(),
+        coherence::sliceHashNameList(" | ").c_str(),
+        cache::replacerNameList(" | ").c_str());
 }
 
 void
@@ -274,6 +298,37 @@ parseProtocol(const char *name, const char *value)
         std::exit(2);
     }
     return p;
+}
+
+/** Parse a slice-hash name for --slice-hash; exits 2 with the
+ * accepted names (the --list-slice-hashes table) on unknown. */
+coherence::SliceHashKind
+parseSliceHash(const char *name, const char *value)
+{
+    coherence::SliceHashKind k;
+    if (!coherence::sliceHashFromName(value, k)) {
+        std::fprintf(stderr,
+                     "ccsvm: %s wants one of %s, got '%s'\n", name,
+                     coherence::sliceHashNameList(", ").c_str(),
+                     value);
+        std::exit(2);
+    }
+    return k;
+}
+
+/** Parse a replacement-policy name for --l2-replace; exits 2 with
+ * the accepted names (the --list-replacers table) on unknown. */
+cache::ReplacerKind
+parseReplacer(const char *name, const char *value)
+{
+    cache::ReplacerKind k;
+    if (!cache::replacerFromName(value, k)) {
+        std::fprintf(stderr,
+                     "ccsvm: %s wants one of %s, got '%s'\n", name,
+                     cache::replacerNameList(", ").c_str(), value);
+        std::exit(2);
+    }
+    return k;
 }
 
 /** Parse a byte count: 0x-hex or decimal, optional K/M/G suffix. */
@@ -511,6 +566,28 @@ parseArgs(int argc, char **argv)
             for (const auto p : coherence::allProtocols)
                 std::printf("%s\n", coherence::protocolName(p));
             std::exit(0);
+        } else if (arg == "--slice-hash") {
+            o.sliceHashes.clear();
+            for (const auto &name :
+                 splitList("--slice-hash", next())) {
+                o.sliceHashes.push_back(
+                    parseSliceHash("--slice-hash", name.c_str()));
+            }
+        } else if (arg == "--list-slice-hashes") {
+            for (const auto k : coherence::allSliceHashes)
+                std::printf("%s\n", coherence::sliceHashName(k));
+            std::exit(0);
+        } else if (arg == "--l2-replace") {
+            o.replacers.clear();
+            for (const auto &name :
+                 splitList("--l2-replace", next())) {
+                o.replacers.push_back(
+                    parseReplacer("--l2-replace", name.c_str()));
+            }
+        } else if (arg == "--list-replacers") {
+            for (const auto k : cache::allReplacers)
+                std::printf("%s\n", cache::replacerName(k));
+            std::exit(0);
         } else if (arg == "--cpu-cores") {
             o.cfg.numCpuCores =
                 static_cast<int>(parseUnsigned("--cpu-cores", next()));
@@ -615,6 +692,35 @@ parseArgs(int argc, char **argv)
             }
         }
     }
+    // Cache geometry flags must yield a power-of-two set count per
+    // array; fail fast with a CLI diagnostic naming the flag instead
+    // of tripping the cache array's internal assert mid-construction.
+    const auto check_sets = [](const char *flag, Addr size_bytes,
+                               unsigned assoc) {
+        const Addr sets = size_bytes / mem::blockBytes / assoc;
+        if (sets == 0 || (sets & (sets - 1)) != 0) {
+            std::fprintf(
+                stderr,
+                "ccsvm: %s gives %llu sets (%llu bytes / %u-byte "
+                "lines / %u ways); the set count must be a "
+                "power of two >= 1\n",
+                flag, (unsigned long long)sets,
+                (unsigned long long)size_bytes,
+                unsigned(mem::blockBytes), assoc);
+            std::exit(2);
+        }
+    };
+    check_sets("--l2-bank-kb", o.cfg.l2.bankSizeBytes, o.cfg.l2.assoc);
+    check_sets("--cpu-l1-kb", o.cfg.cpuL1.sizeBytes, o.cfg.cpuL1.assoc);
+    check_sets("--mttop-l1-kb", o.cfg.mttopL1.sizeBytes,
+               o.cfg.mttopL1.assoc);
+    if (o.cfg.numL2Banks < 1) {
+        std::fprintf(stderr,
+                     "ccsvm: --l2-banks %d: the home-slice hash "
+                     "needs at least one bank\n",
+                     o.cfg.numL2Banks);
+        std::exit(2);
+    }
     return o;
 }
 
@@ -695,7 +801,11 @@ renderPointJson(std::ostream &os, const DriverOptions &o,
        << ", \"cpu_l1_bytes\": " << spec.cfg.cpuL1.sizeBytes
        << ", \"mttop_l1_bytes\": " << spec.cfg.mttopL1.sizeBytes
        << ", \"l2_bank_bytes\": " << spec.cfg.l2.bankSizeBytes
-       << ", \"sim_threads\": "
+       << ", \"slice_hash\": \""
+       << coherence::sliceHashName(spec.cfg.sliceHash)
+       << "\", \"l2_replace\": \""
+       << cache::replacerName(spec.cfg.l2Replace)
+       << "\", \"sim_threads\": "
        << system::resolveSimThreads(spec.cfg.simThreads)
        << ",\n              \"region_hints\": "
        << (p.regionHints ? "true" : "false") << ", \"regions\": [";
@@ -813,18 +923,29 @@ main(int argc, char **argv)
     if (!o.verbose)
         setQuiet(true);
 
-    // The workload x protocol grid, workload-major. An empty protocol
-    // axis is one config-default point per workload, so a run without
-    // --protocol (or with a single value) is the historical driver.
+    // The workload x protocol x slice-hash x replacer grid,
+    // workload-major. Every empty axis contributes one config-default
+    // point, so a run without sweep flags (or with single values) is
+    // the historical driver.
     std::vector<PointSpec> points;
+    const std::size_t np = o.protocols.empty() ? 1 : o.protocols.size();
+    const std::size_t nh =
+        o.sliceHashes.empty() ? 1 : o.sliceHashes.size();
+    const std::size_t nr = o.replacers.empty() ? 1 : o.replacers.size();
     for (std::size_t wi = 0; wi < o.workloads.size(); ++wi) {
-        if (o.protocols.empty()) {
-            points.push_back({o.workloads[wi], entries[wi], o.cfg});
-        } else {
-            for (const coherence::Protocol p : o.protocols) {
-                system::CcsvmConfig cfg = o.cfg;
-                cfg.protocol = p;
-                points.push_back({o.workloads[wi], entries[wi], cfg});
+        for (std::size_t pi = 0; pi < np; ++pi) {
+            for (std::size_t hi = 0; hi < nh; ++hi) {
+                for (std::size_t ri = 0; ri < nr; ++ri) {
+                    system::CcsvmConfig cfg = o.cfg;
+                    if (!o.protocols.empty())
+                        cfg.protocol = o.protocols[pi];
+                    if (!o.sliceHashes.empty())
+                        cfg.sliceHash = o.sliceHashes[hi];
+                    if (!o.replacers.empty())
+                        cfg.l2Replace = o.replacers[ri];
+                    points.push_back(
+                        {o.workloads[wi], entries[wi], cfg});
+                }
             }
         }
     }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "coherence/protocol.hh"
+#include "coherence/slice_hash.hh"
 #include "workloads/replay/reader.hh"
 
 namespace
@@ -83,7 +84,8 @@ printShape(const TraceShape &s)
                 "  page_bytes     %u\n"
                 "  frame_pool     0x%llx\n"
                 "  phys_mem       %llu\n"
-                "  protocol       %s (cpu %s / mttop %s)\n",
+                "  protocol       %s (cpu %s / mttop %s)\n"
+                "  slice_hash     %s\n",
                 s.numCpuCores, s.numMttopCores, s.mttopContexts,
                 s.numL2Banks, s.blockBytes, s.pageBytes,
                 (unsigned long long)s.framePoolBase,
@@ -94,7 +96,10 @@ printShape(const TraceShape &s)
                     static_cast<coherence::Protocol>(s.cpuProtocol)),
                 coherence::protocolName(
                     static_cast<coherence::Protocol>(
-                        s.mttopProtocol)));
+                        s.mttopProtocol)),
+                coherence::sliceHashName(
+                    static_cast<coherence::SliceHashKind>(
+                        s.sliceHash)));
 }
 
 int
